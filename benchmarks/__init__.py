@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per figure/table in the GenBase paper."""

@@ -1,0 +1,49 @@
+"""Figure 1 (a)–(e): single-node query time vs dataset size, all seven systems.
+
+Regenerates the series behind the paper's Figure 1: for each of the five
+GenBase queries, the elapsed time of every single-node configuration at each
+dataset size.  Unsupported (engine, query) combinations are recorded as such
+and plotted as missing series points; timeouts and memory failures are the
+paper's "infinite" results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_sizes, record
+from repro.core import QUERY_NAMES
+from repro.core.engines import SINGLE_NODE_ENGINES
+from repro.core.results import figure_series
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+@pytest.mark.parametrize("engine_name", SINGLE_NODE_ENGINES)
+@pytest.mark.parametrize("query", QUERY_NAMES)
+def test_fig1_cell(benchmark, query, engine_name, size, datasets, runner,
+                   engine_cache, collected_results):
+    dataset = datasets[size]
+    engine = engine_cache(engine_name, dataset)
+
+    def run_once():
+        return runner.run(query, engine, dataset)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    record(benchmark, result, collected_results)
+
+
+def test_fig1_report(benchmark, collected_results, capsys):
+    """Print the per-query series exactly as Figure 1 plots them."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Figure 1: single-node query performance (seconds) ===")
+        for query in QUERY_NAMES:
+            series = figure_series(collected_results, query, x_axis="dataset_size")
+            if not series:
+                continue
+            print(f"\n-- {query} --")
+            for engine, points in sorted(series.items()):
+                rendered = ", ".join(
+                    f"{x}={'n/a' if y is None else f'{y:.3f}'}" for x, y in points
+                )
+                print(f"  {engine:22s} {rendered}")

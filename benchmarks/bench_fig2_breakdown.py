@@ -1,0 +1,42 @@
+"""Figure 2 (a)–(b): data-management vs analytics time for the regression query.
+
+The paper breaks the linear-regression query's elapsed time into its data
+management and analytics portions for every single-node system (Postgres
+excluded, as in the paper, because its configurations report no breakdown —
+here they do, so they are included as a bonus series).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_sizes, record
+from repro.core.engines import SINGLE_NODE_ENGINES
+from repro.core.results import breakdown_series
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+@pytest.mark.parametrize("engine_name", SINGLE_NODE_ENGINES)
+def test_fig2_cell(benchmark, engine_name, size, datasets, runner, engine_cache,
+                   collected_results):
+    dataset = datasets[size]
+    engine = engine_cache(engine_name, dataset)
+
+    def run_once():
+        return runner.run("regression", engine, dataset)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    record(benchmark, result, collected_results)
+
+
+def test_fig2_report(benchmark, collected_results, capsys):
+    """Print the regression data-management / analytics split per system."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Figure 2: regression query breakdown (seconds) ===")
+        series = breakdown_series(collected_results, "regression", x_axis="dataset_size")
+        for engine, phases in sorted(series.items()):
+            dm = ", ".join(f"{x}={y:.3f}" for x, y in phases["data_management"])
+            an = ", ".join(f"{x}={y:.3f}" for x, y in phases["analytics"])
+            print(f"  {engine:22s} data management: {dm}")
+            print(f"  {'':22s} analytics:       {an}")

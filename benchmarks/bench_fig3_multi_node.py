@@ -1,0 +1,51 @@
+"""Figure 3 (a)–(e): multi-node query time on the largest swept dataset, 1/2/4 nodes.
+
+Regenerates the multi-node comparison: SciDB, Hadoop, column store + pbdR,
+column store + UDFs and pbdR, each at 1, 2 and 4 (simulated) nodes.  Times
+are the simulated parallel elapsed times (slowest node + network), so the
+sub-linear scaling and the occasional 1→2-node regression appear for the
+same structural reasons as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_node_counts, multi_node_size, record
+from repro.core import QUERY_NAMES
+from repro.core.engines import MULTI_NODE_ENGINES
+from repro.core.results import figure_series
+
+
+@pytest.mark.parametrize("n_nodes", bench_node_counts())
+@pytest.mark.parametrize("engine_name", MULTI_NODE_ENGINES)
+@pytest.mark.parametrize("query", QUERY_NAMES)
+def test_fig3_cell(benchmark, query, engine_name, n_nodes, datasets, runner,
+                   engine_cache, collected_results):
+    dataset = datasets[multi_node_size()]
+    engine = engine_cache(engine_name, dataset, n_nodes=n_nodes)
+
+    def run_once():
+        return runner.run(query, engine, dataset)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result.n_nodes = n_nodes
+    record(benchmark, result, collected_results)
+
+
+def test_fig3_report(benchmark, collected_results, capsys):
+    """Print the per-query multi-node series exactly as Figure 3 plots them."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        size = multi_node_size()
+        print(f"\n=== Figure 3: multi-node query performance, {size} dataset (seconds) ===")
+        for query in QUERY_NAMES:
+            series = figure_series(collected_results, query, x_axis="n_nodes")
+            if not series:
+                continue
+            print(f"\n-- {query} --")
+            for engine, points in sorted(series.items()):
+                rendered = ", ".join(
+                    f"{x} nodes={'n/a' if y is None else f'{y:.3f}'}" for x, y in points
+                )
+                print(f"  {engine:26s} {rendered}")

@@ -1,0 +1,41 @@
+"""Figure 4 (a)–(b): multi-node regression breakdown (data management vs analytics).
+
+Same configurations as Figure 3, regression query only, with the elapsed
+time split into its data-management and analytics portions per node count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_node_counts, multi_node_size, record
+from repro.core.engines import MULTI_NODE_ENGINES
+from repro.core.results import breakdown_series
+
+
+@pytest.mark.parametrize("n_nodes", bench_node_counts())
+@pytest.mark.parametrize("engine_name", MULTI_NODE_ENGINES)
+def test_fig4_cell(benchmark, engine_name, n_nodes, datasets, runner, engine_cache,
+                   collected_results):
+    dataset = datasets[multi_node_size()]
+    engine = engine_cache(engine_name, dataset, n_nodes=n_nodes)
+
+    def run_once():
+        return runner.run("regression", engine, dataset)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result.n_nodes = n_nodes
+    record(benchmark, result, collected_results)
+
+
+def test_fig4_report(benchmark, collected_results, capsys):
+    """Print the multi-node regression breakdown per system."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n=== Figure 4: multi-node regression breakdown, {multi_node_size()} dataset ===")
+        series = breakdown_series(collected_results, "regression", x_axis="n_nodes")
+        for engine, phases in sorted(series.items()):
+            dm = ", ".join(f"{x}n={y:.3f}" for x, y in phases["data_management"])
+            an = ", ".join(f"{x}n={y:.3f}" for x, y in phases["analytics"])
+            print(f"  {engine:26s} data management: {dm}")
+            print(f"  {'':26s} analytics:       {an}")

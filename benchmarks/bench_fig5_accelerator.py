@@ -1,0 +1,51 @@
+"""Figure 5 (a)–(d): SciDB vs SciDB + coprocessor, per dataset size.
+
+Regenerates the single-node accelerator comparison for the four queries the
+paper offloads (biclustering, SVD, covariance, statistics; regression is
+excluded because its automatic offload was unsupported).  The coprocessor
+times are modelled (transfer + Amdahl-scaled compute) as documented in
+DESIGN.md; the expected shape is that speedups appear only once the dataset
+is large enough for analytics to dominate the transfer overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_sizes, record
+from repro.core.results import figure_series
+
+FIG5_QUERIES = ("biclustering", "svd", "covariance", "statistics")
+FIG5_ENGINES = ("scidb", "scidb-phi")
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+@pytest.mark.parametrize("engine_name", FIG5_ENGINES)
+@pytest.mark.parametrize("query", FIG5_QUERIES)
+def test_fig5_cell(benchmark, query, engine_name, size, datasets, runner, engine_cache,
+                   collected_results):
+    dataset = datasets[size]
+    engine = engine_cache(engine_name, dataset)
+
+    def run_once():
+        return runner.run(query, engine, dataset)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    record(benchmark, result, collected_results)
+
+
+def test_fig5_report(benchmark, collected_results, capsys):
+    """Print the SciDB vs SciDB+coprocessor series per query."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n=== Figure 5: SciDB vs SciDB + coprocessor (seconds) ===")
+        for query in FIG5_QUERIES:
+            series = figure_series(collected_results, query, x_axis="dataset_size")
+            if not series:
+                continue
+            print(f"\n-- {query} --")
+            for engine, points in sorted(series.items()):
+                rendered = ", ".join(
+                    f"{x}={'n/a' if y is None else f'{y:.3f}'}" for x, y in points
+                )
+                print(f"  {engine:12s} {rendered}")

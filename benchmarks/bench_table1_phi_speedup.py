@@ -1,0 +1,50 @@
+"""Table 1: analytics speedup of the coprocessor-based system vs the Xeon system.
+
+Regenerates the paper's Table 1 — the per-query *analytics-phase* speedup of
+SciDB + coprocessor over plain SciDB on 1, 2 and 4 nodes of the largest
+swept dataset.  The expected shape: the dense kernels (covariance, SVD)
+speed up the most, statistics moderately, biclustering barely at all, and
+all speedups shrink as node count grows (less data per node).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_node_counts, multi_node_size, record
+from repro.core import ResultTable
+from repro.core.results import render_speedup_table, speedup_table
+
+TABLE1_QUERIES = ("covariance", "svd", "statistics", "biclustering")
+TABLE1_ENGINES = ("scidb-cluster", "scidb-phi-cluster")
+
+
+@pytest.mark.parametrize("n_nodes", bench_node_counts())
+@pytest.mark.parametrize("engine_name", TABLE1_ENGINES)
+@pytest.mark.parametrize("query", TABLE1_QUERIES)
+def test_table1_cell(benchmark, query, engine_name, n_nodes, datasets, runner,
+                     engine_cache, collected_results):
+    dataset = datasets[multi_node_size()]
+    engine = engine_cache(engine_name, dataset, n_nodes=n_nodes)
+
+    def run_once():
+        return runner.run(query, engine, dataset)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result.n_nodes = n_nodes
+    record(benchmark, result, collected_results)
+
+
+def test_table1_report(benchmark, collected_results, capsys):
+    """Print the Table 1 analytics speedups."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    baseline = ResultTable([r for r in collected_results if r.engine == "scidb-cluster"])
+    accelerated = ResultTable([r for r in collected_results if r.engine == "scidb-phi-cluster"])
+    speedups = speedup_table(baseline, accelerated, queries=TABLE1_QUERIES)
+    with capsys.disabled():
+        print(f"\n=== Table 1: analytics speedup of the coprocessor system "
+              f"({multi_node_size()} dataset) ===")
+        print(render_speedup_table(speedups))
+        totals = speedup_table(baseline, accelerated, queries=TABLE1_QUERIES, phase="total")
+        print("\n(total-time speedups)")
+        print(render_speedup_table(totals))

@@ -1,0 +1,95 @@
+"""Shared fixtures and result collection for the benchmark harness.
+
+Every benchmark module regenerates one figure or table from the paper.  The
+harness runs each (engine, query, size/nodes) cell once through the
+:class:`~repro.core.runner.BenchmarkRunner` (pytest-benchmark's pedantic
+mode with a single round — the interesting numbers are the benchmark's own
+phase timings, which are attached as ``extra_info`` and printed as the
+figure's series at the end of each module).
+
+Scaling note: the default size grid is ``tiny``/``small`` (laptop seconds);
+set ``GENBASE_BENCH_SIZES=tiny,small,medium`` (or any preset list) and
+``GENBASE_BENCH_TIMEOUT`` to widen the sweep toward the paper's shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import BenchmarkRunner, ResultTable
+from repro.core.engines import make_engine
+from repro.datagen import GenBaseDataset
+
+
+def bench_sizes() -> list[str]:
+    """Dataset sizes the harness sweeps (environment-overridable)."""
+    raw = os.environ.get("GENBASE_BENCH_SIZES", "tiny,small")
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def bench_timeout() -> float:
+    """Per-run timeout in seconds (the paper's 2-hour cutoff, scaled)."""
+    return float(os.environ.get("GENBASE_BENCH_TIMEOUT", "20"))
+
+
+def bench_node_counts() -> list[int]:
+    """Node counts for the multi-node figures."""
+    raw = os.environ.get("GENBASE_BENCH_NODES", "1,2,4")
+    return [int(value) for value in raw.split(",") if value.strip()]
+
+
+def multi_node_size() -> str:
+    """The dataset size used by the multi-node figures (paper: the large set)."""
+    return os.environ.get("GENBASE_BENCH_MULTINODE_SIZE", bench_sizes()[-1])
+
+
+@pytest.fixture(scope="session")
+def datasets() -> dict[str, GenBaseDataset]:
+    """Datasets for every size in the sweep, generated once per session."""
+    return {name: GenBaseDataset.generate(name, seed=42) for name in set(bench_sizes() + [multi_node_size()])}
+
+
+@pytest.fixture(scope="session")
+def runner() -> BenchmarkRunner:
+    return BenchmarkRunner(timeout_seconds=bench_timeout())
+
+
+@pytest.fixture(scope="session")
+def engine_cache():
+    """Cache of loaded single-node engines keyed by (engine name, size)."""
+    cache: dict[tuple[str, str], object] = {}
+
+    def get(name: str, dataset: GenBaseDataset, **options):
+        key = (name, dataset.spec.name, tuple(sorted(options.items())))
+        if key not in cache:
+            engine = make_engine(name, **options)
+            engine.load(dataset)
+            cache[key] = engine
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="module")
+def collected_results():
+    """A per-module result table the module's report hook prints."""
+    return ResultTable()
+
+
+def record(benchmark, result, collected: ResultTable) -> None:
+    """Attach a QueryResult's numbers to the pytest-benchmark entry and collect it."""
+    collected.add(result)
+    benchmark.extra_info.update(
+        {
+            "engine": result.engine,
+            "query": result.query,
+            "size": result.dataset_size,
+            "n_nodes": result.n_nodes,
+            "status": result.status.value,
+            "data_management_s": round(result.data_management_seconds, 4),
+            "analytics_s": round(result.analytics_seconds, 4),
+            "total_s": round(result.total_seconds, 4),
+        }
+    )

@@ -1,0 +1,46 @@
+"""Multi-node scaling study: how the Figure 3 behaviour arises.
+
+Runs the SVD query (Q4) on three multi-node configurations — pbdR, SciDB and
+Hadoop — at 1, 2 and 4 simulated nodes, and prints the simulated parallel
+elapsed time plus the bytes moved over the interconnect.  The expected shape
+mirrors the paper: speedup is sub-linear everywhere, pbdR scales best, SciDB
+pays a redistribution penalty going from one node to two, and Hadoop barely
+benefits at all.
+
+Run with::
+
+    python examples/cluster_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BenchmarkRunner
+from repro.core.engines import make_engine
+from repro.datagen import GenBaseDataset
+
+
+def main() -> None:
+    dataset = GenBaseDataset.generate("small", seed=3)
+    runner = BenchmarkRunner(timeout_seconds=300)
+
+    print(f"SVD query on the {dataset.spec.name} dataset "
+          f"({dataset.n_patients} patients x {dataset.n_genes} genes)\n")
+    header = f"{'engine':20s} {'nodes':>5s} {'dm (s)':>9s} {'analytics (s)':>14s} {'network bytes':>14s}"
+    print(header)
+    print("-" * len(header))
+
+    for engine_name in ("pbdr", "scidb-cluster", "hadoop-cluster"):
+        for n_nodes in (1, 2, 4):
+            engine = make_engine(engine_name, n_nodes=n_nodes)
+            engine.load(dataset)
+            result = runner.run("svd", engine, dataset)
+            network_bytes = engine.cluster.network.total_bytes
+            print(f"{engine_name:20s} {n_nodes:5d} "
+                  f"{result.data_management_seconds:9.3f} "
+                  f"{result.analytics_seconds:14.3f} "
+                  f"{network_bytes:14d}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Quickstart: generate a GenBase dataset and run one query on two engines.
+
+Run with::
+
+    python examples/quickstart.py
+
+It generates the ``small`` dataset, runs the covariance query (Q2) on the
+array DBMS (SciDB analog) and on the Hadoop analog, and prints the elapsed
+time split into data management and analytics — the benchmark's central
+measurement.
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkRunner, GenBaseDataset
+
+
+def main() -> None:
+    dataset = GenBaseDataset.generate("small", seed=7)
+    print("Dataset:", dataset.describe())
+
+    runner = BenchmarkRunner(timeout_seconds=120)
+    for engine in ("scidb", "hadoop"):
+        result = runner.run("covariance", engine, dataset)
+        print(
+            f"\n{engine:8s} status={result.status.value}"
+            f"  data management={result.data_management_seconds:.3f}s"
+            f"  analytics={result.analytics_seconds:.3f}s"
+            f"  total={result.total_seconds:.3f}s"
+        )
+        if result.output is not None:
+            print(f"         answer summary: {result.output.summary}")
+
+
+if __name__ == "__main__":
+    main()

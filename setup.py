@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on older setuptools/pip stacks (and in
+offline environments without the ``wheel`` package, where the legacy
+``setup.py develop`` editable path is the only one available).
+"""
+
+from setuptools import setup
+
+setup()

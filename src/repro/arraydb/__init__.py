@@ -1,0 +1,37 @@
+"""A chunked array DBMS (the benchmark's SciDB analog).
+
+SciDB stores data as multi-dimensional arrays split into rectangular chunks
+and executes queries chunk-by-chunk; analytics either run natively over the
+chunks or hand off to ScaLAPACK.  This package reproduces that architecture:
+
+* :mod:`repro.arraydb.schema` — array schemas: named *dimensions* (with
+  chunk sizes) plus typed *attributes*,
+* :mod:`repro.arraydb.chunk` / :mod:`repro.arraydb.array` — chunked storage
+  with per-chunk empty-cell bitmaps,
+* :mod:`repro.arraydb.operators` — the AFL-style operators the GenBase
+  queries need: ``filter``, ``between`` (subarray), ``apply``, ``project``,
+  ``aggregate``, ``cross_join``, ``redimension`` and ``regrid``,
+* :mod:`repro.arraydb.linalg` — chunk-wise linear algebra (GEMM, Gram
+  matrices, matrix-vector products) used by the native analytics, plus the
+  bridge that hands whole arrays to the ScaLAPACK tier.
+
+Because data is already an array, the GenBase queries need no
+table-to-matrix restructuring here — the property that makes SciDB
+competitive in the paper's results.
+"""
+
+from repro.arraydb.schema import ArraySchema, Attribute, Dimension
+from repro.arraydb.chunk import Chunk
+from repro.arraydb.array import ChunkedArray
+from repro.arraydb import operators
+from repro.arraydb import linalg
+
+__all__ = [
+    "ArraySchema",
+    "Attribute",
+    "Dimension",
+    "Chunk",
+    "ChunkedArray",
+    "operators",
+    "linalg",
+]

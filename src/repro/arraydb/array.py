@@ -1,0 +1,162 @@
+"""Chunked arrays: the array DBMS's storage objects."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.arraydb.chunk import Chunk
+from repro.arraydb.schema import ArraySchema, Attribute, Dimension
+
+
+class ChunkedArray:
+    """A multi-dimensional array stored as a grid of chunks.
+
+    Only chunks with at least one non-empty cell are stored, so heavily
+    filtered arrays stay small (SciDB's sparse-chunk behaviour).
+    """
+
+    def __init__(self, schema: ArraySchema, chunks: Mapping[tuple[int, ...], Chunk] | None = None):
+        self.schema = schema
+        self._chunks: dict[tuple[int, ...], Chunk] = dict(chunks or {})
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls,
+        name: str,
+        matrix: np.ndarray,
+        dimension_names: Sequence[str],
+        attribute_name: str = "value",
+        chunk_sizes: Sequence[int] | None = None,
+    ) -> "ChunkedArray":
+        """Build a chunked array from a dense numpy array.
+
+        Args:
+            name: array name.
+            matrix: dense data of any dimensionality.
+            dimension_names: one name per matrix axis.
+            attribute_name: the single attribute holding the cell values.
+            chunk_sizes: chunk extent per axis (defaults to ~256 along each
+                axis, clipped to the axis length).
+        """
+        matrix = np.asarray(matrix)
+        if len(dimension_names) != matrix.ndim:
+            raise ValueError("need one dimension name per matrix axis")
+        if chunk_sizes is None:
+            chunk_sizes = [min(256, max(1, length)) for length in matrix.shape]
+        if len(chunk_sizes) != matrix.ndim:
+            raise ValueError("need one chunk size per matrix axis")
+        dimensions = [
+            Dimension(dim_name, 0, max(0, length - 1), chunk)
+            for dim_name, length, chunk in zip(dimension_names, matrix.shape, chunk_sizes)
+        ]
+        schema = ArraySchema(name, dimensions, [Attribute(attribute_name, matrix.dtype)])
+        array = cls(schema)
+        for chunk_coords in array.chunk_grid():
+            slices = array.chunk_slices(chunk_coords)
+            block = matrix[slices]
+            if block.size == 0:
+                continue
+            origin = tuple(s.start for s in slices)
+            array._chunks[chunk_coords] = Chunk(
+                coordinates=chunk_coords,
+                origin=origin,
+                data={attribute_name: np.ascontiguousarray(block)},
+            )
+        return array
+
+    # -- chunk grid helpers ----------------------------------------------------------
+
+    def chunk_grid(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all chunk-grid coordinates implied by the schema."""
+        ranges = [range(d.chunk_count) for d in self.schema.dimensions]
+        return itertools.product(*ranges)
+
+    def chunk_slices(self, chunk_coords: tuple[int, ...]) -> tuple[slice, ...]:
+        """Return the cell-coordinate slices covered by a chunk."""
+        slices = []
+        for dimension, coordinate in zip(self.schema.dimensions, chunk_coords):
+            low, high = dimension.chunk_bounds(coordinate)
+            slices.append(slice(low, high + 1))
+        return tuple(slices)
+
+    def chunks(self) -> Iterator[Chunk]:
+        """Iterate stored (non-empty) chunks in deterministic order."""
+        for key in sorted(self._chunks):
+            yield self._chunks[key]
+
+    def chunk_at(self, chunk_coords: tuple[int, ...]) -> Chunk | None:
+        return self._chunks.get(tuple(chunk_coords))
+
+    def put_chunk(self, chunk: Chunk) -> None:
+        """Insert or replace a chunk."""
+        self._chunks[tuple(chunk.coordinates)] = chunk
+
+    # -- stats -------------------------------------------------------------------------
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def cell_count(self) -> int:
+        return sum(chunk.cell_count for chunk in self._chunks.values())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(chunk.nbytes for chunk in self._chunks.values())
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.schema.shape
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkedArray({self.schema!r}, chunks={self.chunk_count}, "
+            f"cells={self.cell_count})"
+        )
+
+    # -- conversion -----------------------------------------------------------------------
+
+    def to_dense(self, attribute: str | None = None, fill: float = 0.0) -> np.ndarray:
+        """Materialise the array (one attribute) as a dense numpy array.
+
+        Empty cells become ``fill``.  The result is indexed by *offset from
+        each dimension's start*, so it always has ``schema.shape``.
+        """
+        if attribute is None:
+            attribute = self.schema.attribute_names[0]
+        dtype = self.schema.attribute(attribute).dtype
+        dense = np.full(self.schema.shape, fill, dtype=np.result_type(dtype, type(fill)))
+        starts = [d.start for d in self.schema.dimensions]
+        for chunk in self._chunks.values():
+            slices = tuple(
+                slice(origin - start, origin - start + extent)
+                for origin, start, extent in zip(chunk.origin, starts, chunk.shape)
+            )
+            block = chunk.masked_attribute(attribute, fill=fill)
+            dense[slices] = block
+        return dense
+
+    def attribute_cells(self, attribute: str | None = None) -> tuple[tuple[np.ndarray, ...], np.ndarray]:
+        """Return (coordinates per dimension, values) for all non-empty cells."""
+        if attribute is None:
+            attribute = self.schema.attribute_names[0]
+        coordinate_lists: list[list[np.ndarray]] = [[] for _ in range(self.schema.ndim)]
+        values = []
+        for chunk in self.chunks():
+            coords = chunk.coordinates_of_cells()
+            for axis, axis_coords in enumerate(coords):
+                coordinate_lists[axis].append(axis_coords)
+            block = chunk.attribute(attribute)
+            mask = chunk.mask if chunk.mask is not None else np.ones(block.shape, bool)
+            values.append(block[mask])
+        if not values:
+            empty = tuple(np.empty(0, dtype=np.int64) for _ in range(self.schema.ndim))
+            return empty, np.empty(0)
+        coordinates = tuple(np.concatenate(axis_list) for axis_list in coordinate_lists)
+        return coordinates, np.concatenate(values)

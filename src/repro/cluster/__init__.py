@@ -1,0 +1,51 @@
+"""Multi-node execution simulator.
+
+The paper's multi-node experiments (Figures 3 and 4) run SciDB, Hadoop, the
+column store and pbdR on clusters of 1, 2 and 4 machines and find that
+"the scalability of all systems is less than ideal": per-node compute drops
+with more nodes but data movement grows, and SciDB is sometimes *slower* on
+two nodes than on one.
+
+This package provides the substrate those experiments need without real
+hardware:
+
+* :mod:`repro.cluster.partitioner` — hash, range and block-cyclic
+  partitioners that split tables/matrices across nodes,
+* :mod:`repro.cluster.network` — an interconnect model that *actually
+  serialises* every transferred object to count bytes, then converts bytes
+  to time with a configurable latency + bandwidth model,
+* :mod:`repro.cluster.cluster` — the cluster itself: executes per-partition
+  work (really, sequentially in-process, with per-partition wall-clock
+  measurement) and combines per-node compute with network time into a
+  simulated parallel elapsed time,
+* :mod:`repro.cluster.scalapack` — a ScaLAPACK/pbdR-style distributed dense
+  linear algebra layer (distributed GEMM, covariance, least squares and
+  Lanczos) over block row-partitioned matrices.
+
+The substitution is documented in DESIGN.md: per-node computation is real
+measured work; only the interconnect is modelled.
+"""
+
+from repro.cluster.partitioner import (
+    BlockCyclicPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    partition_rows,
+)
+from repro.cluster.network import NetworkModel, TransferRecord
+from repro.cluster.cluster import Cluster, NodeTiming, ParallelRunResult
+from repro.cluster.scalapack import DistributedMatrix, ScaLAPACK
+
+__all__ = [
+    "HashPartitioner",
+    "RangePartitioner",
+    "BlockCyclicPartitioner",
+    "partition_rows",
+    "NetworkModel",
+    "TransferRecord",
+    "Cluster",
+    "NodeTiming",
+    "ParallelRunResult",
+    "DistributedMatrix",
+    "ScaLAPACK",
+]

@@ -1,0 +1,87 @@
+"""Partitioners: how data is split across the simulated cluster nodes.
+
+Three families cover everything the paper's multi-node systems use:
+
+* hash partitioning (SciDB attribute/dimension hashing, Hive bucketing),
+* range partitioning (SciDB chunk ranges, ordered splits),
+* block-cyclic partitioning (ScaLAPACK's layout, used by pbdR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Partitioner:
+    """Assigns each of ``n_items`` items to one of ``n_partitions`` partitions."""
+
+    def __init__(self, n_partitions: int):
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.n_partitions = n_partitions
+
+    def assign(self, keys: np.ndarray) -> np.ndarray:
+        """Return the partition id for every key."""
+        raise NotImplementedError
+
+    def split_indices(self, keys: np.ndarray) -> list[np.ndarray]:
+        """Return, per partition, the positions of the items assigned to it."""
+        assignment = self.assign(np.asarray(keys))
+        return [np.flatnonzero(assignment == p) for p in range(self.n_partitions)]
+
+
+@dataclass
+class HashPartitioner(Partitioner):
+    """Partition by a deterministic integer hash of the key."""
+
+    def __init__(self, n_partitions: int, seed: int = 0):
+        super().__init__(n_partitions)
+        self.seed = seed
+
+    def assign(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys)
+        # Knuth-style multiplicative hash on the integer representation.
+        as_int = keys.astype(np.int64, copy=False) if np.issubdtype(keys.dtype, np.number) else np.asarray(
+            [hash(k) for k in keys.tolist()], dtype=np.int64
+        )
+        mixed = (as_int * np.int64(2654435761) + np.int64(self.seed)) & np.int64(0x7FFFFFFF)
+        return (mixed % self.n_partitions).astype(np.int64)
+
+
+class RangePartitioner(Partitioner):
+    """Partition by contiguous key ranges (equi-depth over the observed keys)."""
+
+    def assign(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.float64)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int64)
+        quantiles = np.quantile(keys, np.linspace(0, 1, self.n_partitions + 1)[1:-1]) if self.n_partitions > 1 else np.empty(0)
+        return np.searchsorted(quantiles, keys, side="right").astype(np.int64)
+
+
+class BlockCyclicPartitioner(Partitioner):
+    """ScaLAPACK-style block-cyclic assignment of row indices."""
+
+    def __init__(self, n_partitions: int, block_size: int = 32):
+        super().__init__(n_partitions)
+        if block_size < 1:
+            raise ValueError("block size must be positive")
+        self.block_size = block_size
+
+    def assign(self, keys: np.ndarray) -> np.ndarray:
+        indices = np.asarray(keys, dtype=np.int64)
+        return (indices // self.block_size) % self.n_partitions
+
+
+def partition_rows(matrix: np.ndarray, partitioner: Partitioner) -> list[np.ndarray]:
+    """Split a matrix's rows into per-partition sub-matrices.
+
+    Row indices are used as the partitioning key, so a
+    :class:`BlockCyclicPartitioner` yields the ScaLAPACK layout and a
+    :class:`RangePartitioner` yields contiguous row blocks.
+    """
+    matrix = np.asarray(matrix)
+    indices = np.arange(matrix.shape[0])
+    return [matrix[part] for part in partitioner.split_indices(indices)]

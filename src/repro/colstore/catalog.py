@@ -1,0 +1,82 @@
+"""The column-store catalog."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.colstore.query import ColumnQuery
+from repro.colstore.table import ColumnTable
+
+
+class ColumnStore:
+    """A single-node column-store database: a catalog of column tables."""
+
+    def __init__(self, name: str = "genbase"):
+        self.name = name
+        self._tables: dict[str, ColumnTable] = {}
+
+    # -- catalog management --------------------------------------------------------
+
+    def create_table(self, name: str, arrays: Mapping[str, np.ndarray],
+                     compress: bool = True) -> ColumnTable:
+        """Create and load a table from column arrays.
+
+        Raises:
+            ValueError: if the table already exists.
+        """
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = ColumnTable.from_arrays(name, arrays, compress=compress)
+        self._tables[name] = table
+        return table
+
+    def register(self, table: ColumnTable) -> None:
+        """Register an externally built table (e.g. a materialised join)."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> ColumnTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise KeyError(f"no table named {name!r}; known tables: {known}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- querying ---------------------------------------------------------------------
+
+    def query(self, table_name: str) -> ColumnQuery:
+        """Start a vectorised query on a table."""
+        return ColumnQuery(self.table(table_name))
+
+    # -- stats ------------------------------------------------------------------------
+
+    def total_rows(self) -> int:
+        return sum(table.row_count for table in self._tables.values())
+
+    def total_compressed_bytes(self) -> int:
+        return sum(table.compressed_bytes for table in self._tables.values())
+
+    def describe(self) -> dict[str, dict]:
+        return {
+            name: {
+                "rows": table.row_count,
+                "columns": table.column_names,
+                "compressed_bytes": table.compressed_bytes,
+                "encodings": table.encodings(),
+            }
+            for name, table in sorted(self._tables.items())
+        }

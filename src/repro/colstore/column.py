@@ -1,0 +1,69 @@
+"""Typed, compressed column vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.colstore.compression import Encoding, PlainEncoding, best_encoding
+
+
+class ColumnVector:
+    """One named column stored in compressed form.
+
+    The column keeps only its encoded representation; ``values()`` decodes on
+    demand and caches the decoded array until the column is mutated, so
+    repeated scans of the same column pay the decode cost once (the usual
+    column-store buffer-pool behaviour).
+    """
+
+    def __init__(self, name: str, values: np.ndarray, compress: bool = True):
+        if not name:
+            raise ValueError("column name must be non-empty")
+        self.name = name
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("a column must be one-dimensional")
+        self.dtype = values.dtype
+        self._encoding: Encoding
+        if compress:
+            self._encoding = best_encoding(values)
+        else:
+            self._encoding = PlainEncoding()
+            self._encoding.encode(values)
+        self._cache: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._encoding)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnVector({self.name!r}, n={len(self)}, "
+            f"encoding={self._encoding.name}, bytes={self.encoded_bytes})"
+        )
+
+    @property
+    def encoding_name(self) -> str:
+        return self._encoding.name
+
+    @property
+    def encoded_bytes(self) -> int:
+        return self._encoding.encoded_bytes()
+
+    def values(self) -> np.ndarray:
+        """Decode (and cache) the full column."""
+        if self._cache is None:
+            self._cache = self._encoding.decode()
+        return self._cache
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Gather the values at ``indices`` (late materialisation step)."""
+        return self.values()[indices]
+
+    def filter_mask(self, predicate) -> np.ndarray:
+        """Apply a vectorised predicate to the whole column, returning a bool mask."""
+        return np.asarray(predicate(self.values()), dtype=bool)
+
+    def appended(self, values: np.ndarray) -> "ColumnVector":
+        """Return a new column with ``values`` appended (columns are immutable)."""
+        combined = np.concatenate([self.values(), np.asarray(values, dtype=self.dtype)])
+        return ColumnVector(self.name, combined)

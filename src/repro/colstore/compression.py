@@ -1,0 +1,230 @@
+"""Column encodings: plain, run-length, dictionary and delta.
+
+Column stores get much of their edge from keeping columns compressed on disk
+and, where possible, operating directly on the compressed form.  The
+encodings here are honest implementations — they really do shrink the
+stored representation and decode on access — so the engine's performance
+trade-offs (cheap scans of low-cardinality columns, extra decode work on
+high-entropy float columns) emerge from the data rather than from constants.
+
+All encodings implement the small :class:`Encoding` interface:
+``encode`` → opaque state, ``decode`` → the original numpy array,
+``encoded_bytes`` → approximate storage footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Encoding:
+    """Interface for column encodings."""
+
+    name: str = "base"
+
+    def encode(self, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def decode(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def encoded_bytes(self) -> int:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class PlainEncoding(Encoding):
+    """No compression; the baseline every other encoding is compared against."""
+
+    name: str = "plain"
+
+    def __post_init__(self):
+        self._values: np.ndarray | None = None
+
+    def encode(self, values: np.ndarray) -> None:
+        self._values = np.asarray(values).copy()
+
+    def decode(self) -> np.ndarray:
+        if self._values is None:
+            return np.empty(0)
+        return self._values.copy()
+
+    def encoded_bytes(self) -> int:
+        return 0 if self._values is None else self._values.nbytes
+
+    def __len__(self) -> int:
+        return 0 if self._values is None else len(self._values)
+
+
+@dataclass
+class RunLengthEncoding(Encoding):
+    """Run-length encoding: ``(value, run_length)`` pairs.
+
+    Best for sorted or low-cardinality columns (disease ids, gender, GO
+    membership flags).
+    """
+
+    name: str = "rle"
+
+    def __post_init__(self):
+        self._run_values: np.ndarray | None = None
+        self._run_lengths: np.ndarray | None = None
+        self._dtype = None
+        self._length = 0
+
+    def encode(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        self._dtype = values.dtype
+        self._length = len(values)
+        if len(values) == 0:
+            self._run_values = values.copy()
+            self._run_lengths = np.empty(0, dtype=np.int64)
+            return
+        change_points = np.flatnonzero(values[1:] != values[:-1]) + 1
+        starts = np.concatenate([[0], change_points])
+        ends = np.concatenate([change_points, [len(values)]])
+        self._run_values = values[starts].copy()
+        self._run_lengths = (ends - starts).astype(np.int64)
+
+    def decode(self) -> np.ndarray:
+        if self._run_values is None:
+            return np.empty(0)
+        return np.repeat(self._run_values, self._run_lengths)
+
+    def encoded_bytes(self) -> int:
+        if self._run_values is None:
+            return 0
+        return self._run_values.nbytes + self._run_lengths.nbytes
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def run_count(self) -> int:
+        return 0 if self._run_values is None else len(self._run_values)
+
+
+@dataclass
+class DictionaryEncoding(Encoding):
+    """Dictionary encoding: distinct values + small integer codes.
+
+    Best for moderate-cardinality columns (function codes, zipcodes).
+    """
+
+    name: str = "dictionary"
+
+    def __post_init__(self):
+        self._dictionary: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+
+    def encode(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        self._dictionary, codes = np.unique(values, return_inverse=True)
+        # Use the narrowest integer width that can hold the codes.
+        n_distinct = len(self._dictionary)
+        if n_distinct <= np.iinfo(np.uint8).max + 1:
+            dtype = np.uint8
+        elif n_distinct <= np.iinfo(np.uint16).max + 1:
+            dtype = np.uint16
+        else:
+            dtype = np.uint32
+        self._codes = codes.astype(dtype)
+
+    def decode(self) -> np.ndarray:
+        if self._dictionary is None or self._codes is None:
+            return np.empty(0)
+        return self._dictionary[self._codes]
+
+    def encoded_bytes(self) -> int:
+        if self._dictionary is None or self._codes is None:
+            return 0
+        return self._dictionary.nbytes + self._codes.nbytes
+
+    def __len__(self) -> int:
+        return 0 if self._codes is None else len(self._codes)
+
+    @property
+    def cardinality(self) -> int:
+        return 0 if self._dictionary is None else len(self._dictionary)
+
+
+@dataclass
+class DeltaEncoding(Encoding):
+    """Delta encoding for monotone / slowly varying integer columns.
+
+    Stores the first value and the differences, using a narrow dtype when
+    the deltas are small (positions, patient ids, gene ids).
+    """
+
+    name: str = "delta"
+
+    def __post_init__(self):
+        self._first = None
+        self._deltas: np.ndarray | None = None
+        self._dtype = None
+
+    def encode(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        self._dtype = values.dtype
+        if len(values) == 0:
+            self._first = None
+            self._deltas = np.empty(0, dtype=np.int64)
+            return
+        self._first = values[0]
+        deltas = np.diff(values.astype(np.int64))
+        if len(deltas) and np.abs(deltas).max() <= np.iinfo(np.int16).max:
+            deltas = deltas.astype(np.int16)
+        elif len(deltas) and np.abs(deltas).max() <= np.iinfo(np.int32).max:
+            deltas = deltas.astype(np.int32)
+        self._deltas = deltas
+
+    def decode(self) -> np.ndarray:
+        if self._first is None:
+            return np.empty(0, dtype=self._dtype or np.int64)
+        restored = np.concatenate(
+            [[np.int64(self._first)], np.int64(self._first) + np.cumsum(self._deltas, dtype=np.int64)]
+        )
+        return restored.astype(self._dtype)
+
+    def encoded_bytes(self) -> int:
+        if self._deltas is None:
+            return 0
+        return 8 + self._deltas.nbytes
+
+    def __len__(self) -> int:
+        if self._first is None:
+            return 0
+        return len(self._deltas) + 1
+
+
+def best_encoding(values: np.ndarray) -> Encoding:
+    """Pick the smallest applicable encoding for a column.
+
+    Float columns with many distinct values stay plain; integer columns try
+    RLE, dictionary and delta and keep whichever is smallest (ties go to the
+    simpler encoding in the order plain → RLE → dictionary → delta).
+    """
+    values = np.asarray(values)
+    candidates: list[Encoding] = [PlainEncoding()]
+    if values.size:
+        if np.issubdtype(values.dtype, np.integer) or np.issubdtype(values.dtype, np.bool_):
+            candidates.extend([RunLengthEncoding(), DictionaryEncoding(), DeltaEncoding()])
+        else:
+            # RLE still wins for constant/low-cardinality float columns.
+            candidates.append(RunLengthEncoding())
+            distinct = len(np.unique(values[: min(len(values), 10_000)]))
+            if distinct <= 4096:
+                candidates.append(DictionaryEncoding())
+    best: Encoding | None = None
+    best_size = None
+    for encoding in candidates:
+        encoding.encode(values)
+        size = encoding.encoded_bytes()
+        if best is None or size < best_size:
+            best, best_size = encoding, size
+    return best

@@ -1,0 +1,197 @@
+"""Vectorised query execution over column tables.
+
+A :class:`ColumnQuery` carries a reference to its base table plus a
+*selection vector* (integer row positions that survive the filters so far)
+— the late-materialisation execution style of real column stores.  Filters
+narrow the selection vector using whole-column vectorised comparisons;
+``columns()`` / ``to_matrix()`` gather only what the caller asks for.
+
+Joins produce a new in-memory :class:`ColumnTable` built from gathered
+columns (a materialised join result), since GenBase's join outputs feed
+either a pivot or an aggregate immediately afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.colstore.table import ColumnTable
+
+
+class ColumnQuery:
+    """A query over one column table with an accumulated selection vector."""
+
+    def __init__(self, table: ColumnTable, selection: np.ndarray | None = None):
+        self.table = table
+        if selection is None:
+            selection = np.arange(table.row_count, dtype=np.int64)
+        self.selection = np.asarray(selection, dtype=np.int64)
+
+    # -- filtering -----------------------------------------------------------------
+
+    def where(self, column: str, predicate: Callable[[np.ndarray], np.ndarray]) -> "ColumnQuery":
+        """Keep rows where ``predicate(column_values)`` is True.
+
+        The predicate receives the *already selected* values of the column
+        and must return a boolean array of the same length.
+        """
+        values = self.table.column(column).take(self.selection)
+        mask = np.asarray(predicate(values), dtype=bool)
+        if mask.shape != values.shape:
+            raise ValueError("predicate must return one boolean per input value")
+        return ColumnQuery(self.table, self.selection[mask])
+
+    def where_in(self, column: str, values: Sequence) -> "ColumnQuery":
+        """Keep rows whose column value is in ``values``."""
+        lookup = np.asarray(list(values))
+        return self.where(column, lambda v: np.isin(v, lookup))
+
+    def sample(self, fraction: float, seed: int = 0) -> "ColumnQuery":
+        """Keep a deterministic random sample of the current selection."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        n_keep = max(1, int(round(fraction * len(self.selection))))
+        chosen = rng.choice(len(self.selection), size=n_keep, replace=False)
+        return ColumnQuery(self.table, np.sort(self.selection[chosen]))
+
+    # -- inspection -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.selection)
+
+    def column(self, name: str) -> np.ndarray:
+        """Materialise one column restricted to the current selection."""
+        return self.table.column(name).take(self.selection)
+
+    def columns(self, names: Sequence[str]) -> dict[str, np.ndarray]:
+        """Materialise several columns restricted to the current selection."""
+        return {name: self.column(name) for name in names}
+
+    def to_matrix(self, names: Sequence[str]) -> np.ndarray:
+        """Materialise the named columns side by side as a float matrix."""
+        if not names:
+            return np.empty((len(self.selection), 0))
+        return np.column_stack([self.column(name).astype(np.float64) for name in names])
+
+    def to_table(self, name: str, names: Sequence[str] | None = None) -> ColumnTable:
+        """Materialise the current selection as a new column table."""
+        names = list(names) if names is not None else self.table.column_names
+        return ColumnTable.from_arrays(name, self.columns(names))
+
+    # -- joins ------------------------------------------------------------------------
+
+    def join(
+        self,
+        other: "ColumnQuery",
+        left_key: str,
+        right_key: str,
+        columns: Mapping[str, str] | None = None,
+        other_columns: Mapping[str, str] | None = None,
+        result_name: str = "join_result",
+    ) -> ColumnTable:
+        """Vectorised equi-join, materialising the requested output columns.
+
+        Args:
+            other: the probe-side query.
+            left_key: join key column in this query's table.
+            right_key: join key column in ``other``'s table.
+            columns: mapping of output name → this table's column name; the
+                default keeps all of this table's columns.
+            other_columns: mapping of output name → other table's column
+                name; the default keeps all of the other table's columns
+                except its join key.
+            result_name: name for the materialised result table.
+        """
+        if columns is None:
+            columns = {name: name for name in self.table.column_names}
+        if other_columns is None:
+            other_columns = {
+                name: name for name in other.table.column_names if name != right_key
+            }
+
+        left_keys = self.column(left_key)
+        right_keys = other.column(right_key)
+
+        # Build a hash index on the smaller side, probe with the larger.
+        build_left = len(left_keys) <= len(right_keys)
+        build_values = left_keys if build_left else right_keys
+        probe_values = right_keys if build_left else left_keys
+
+        index: dict[object, list[int]] = {}
+        for position, key in enumerate(build_values.tolist()):
+            index.setdefault(key, []).append(position)
+
+        build_positions: list[int] = []
+        probe_positions: list[int] = []
+        for position, key in enumerate(probe_values.tolist()):
+            matches = index.get(key)
+            if not matches:
+                continue
+            for match in matches:
+                build_positions.append(match)
+                probe_positions.append(position)
+
+        if build_left:
+            left_positions = np.asarray(build_positions, dtype=np.int64)
+            right_positions = np.asarray(probe_positions, dtype=np.int64)
+        else:
+            left_positions = np.asarray(probe_positions, dtype=np.int64)
+            right_positions = np.asarray(build_positions, dtype=np.int64)
+
+        arrays: dict[str, np.ndarray] = {}
+        for output_name, source in columns.items():
+            arrays[output_name] = self.column(source)[left_positions] if len(left_positions) else np.empty(0, dtype=self.table.column(source).dtype)
+        for output_name, source in other_columns.items():
+            arrays[output_name] = other.column(source)[right_positions] if len(right_positions) else np.empty(0, dtype=other.table.column(source).dtype)
+        return ColumnTable.from_arrays(result_name, arrays)
+
+    # -- aggregation -----------------------------------------------------------------
+
+    def group_aggregate(
+        self,
+        group_column: str,
+        value_column: str,
+        function: str = "mean",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised GROUP BY returning ``(group_keys, aggregated_values)``.
+
+        Supported functions: mean, sum, count, min, max.
+        """
+        groups = self.column(group_column)
+        values = self.column(value_column).astype(np.float64)
+        keys, inverse = np.unique(groups, return_inverse=True)
+        if function == "count":
+            return keys, np.bincount(inverse, minlength=len(keys)).astype(np.float64)
+        if function == "sum":
+            return keys, np.bincount(inverse, weights=values, minlength=len(keys))
+        if function == "mean":
+            totals = np.bincount(inverse, weights=values, minlength=len(keys))
+            counts = np.bincount(inverse, minlength=len(keys))
+            return keys, totals / np.maximum(counts, 1)
+        if function in ("min", "max"):
+            result = np.full(len(keys), np.inf if function == "min" else -np.inf)
+            reducer = np.minimum if function == "min" else np.maximum
+            np_function = reducer.at
+            np_function(result, inverse, values)
+            return keys, result
+        raise ValueError(f"unsupported aggregate function {function!r}")
+
+    # -- pivot -------------------------------------------------------------------------
+
+    def pivot(self, row_key: str, column_key: str, value: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pivot the selected rows into a dense matrix.
+
+        Returns ``(matrix, row_labels, column_labels)``; labels are the
+        sorted distinct key values and missing cells are 0.
+        """
+        rows = self.column(row_key)
+        cols = self.column(column_key)
+        values = self.column(value).astype(np.float64)
+        row_labels, row_positions = np.unique(rows, return_inverse=True)
+        column_labels, column_positions = np.unique(cols, return_inverse=True)
+        matrix = np.zeros((len(row_labels), len(column_labels)), dtype=np.float64)
+        matrix[row_positions, column_positions] = values
+        return matrix, row_labels, column_labels

@@ -1,0 +1,40 @@
+"""The GenBase benchmark core.
+
+This package is the paper's primary contribution: the benchmark itself.
+
+* :mod:`repro.core.spec` — query parameters and the query registry.
+* :mod:`repro.core.queries` — engine-independent reference implementations
+  of the five queries (used to validate every engine's answers).
+* :mod:`repro.core.timing` — the data-management / analytics phase timer.
+* :mod:`repro.core.engines` — one adapter per evaluated configuration:
+  vanilla R, Postgres+Madlib, Postgres+R, column store+R, column store+UDFs,
+  SciDB, Hadoop, the multi-node variants and SciDB+coprocessor.
+* :mod:`repro.core.runner` — the benchmark runner (timeouts, memory-failure
+  handling, result records).
+* :mod:`repro.core.results` — result tables and figure/table regeneration
+  helpers used by the ``benchmarks/`` harness.
+"""
+
+from repro.core.spec import QUERY_NAMES, QueryParameters, default_parameters
+from repro.core.timing import PhaseTimer
+from repro.core.queries import ReferenceImplementation, QueryOutput
+from repro.core.engines import list_engines, make_engine, EngineCapabilities
+from repro.core.runner import BenchmarkRunner, QueryResult, RunStatus
+from repro.core.results import ResultTable, speedup_table
+
+__all__ = [
+    "QUERY_NAMES",
+    "QueryParameters",
+    "default_parameters",
+    "PhaseTimer",
+    "ReferenceImplementation",
+    "QueryOutput",
+    "list_engines",
+    "make_engine",
+    "EngineCapabilities",
+    "BenchmarkRunner",
+    "QueryResult",
+    "RunStatus",
+    "ResultTable",
+    "speedup_table",
+]

@@ -1,0 +1,97 @@
+"""Base classes shared by every benchmark engine adapter.
+
+An *engine* is one of the configurations the paper evaluates (vanilla R,
+Postgres + Madlib, SciDB, ...).  Every engine implements the same contract:
+
+* ``load(dataset)`` — ingest the four GenBase tables into the engine's own
+  storage (not timed; the paper pre-loads data too),
+* ``run(query, parameters, timer)`` — execute one query, charging its data
+  management and analytics work to the :class:`~repro.core.timing.PhaseTimer`
+  and returning a :class:`~repro.core.queries.QueryOutput`,
+* ``capabilities`` — which queries the configuration can run at all
+  (e.g. Hadoop/Mahout has no biclustering).
+
+Engines raise :class:`UnsupportedQueryError` for queries they cannot run and
+let ``MemoryError`` (including the R environment's
+:class:`~repro.rlang.dataframe.RMemoryError`) propagate — the runner maps
+both onto the paper's "infinite result" convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.queries import QueryOutput
+from repro.core.spec import QUERY_NAMES, QueryParameters, validate_query_name
+from repro.core.timing import PhaseTimer
+from repro.datagen.dataset import GenBaseDataset
+
+
+class UnsupportedQueryError(RuntimeError):
+    """The engine configuration has no implementation for this query."""
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What an engine can do, used by the runner and the reports."""
+
+    supported_queries: frozenset[str] = frozenset(QUERY_NAMES)
+    multi_node: bool = False
+    uses_external_analytics: bool = False
+    uses_coprocessor: bool = False
+
+    def supports(self, query: str) -> bool:
+        return validate_query_name(query) in self.supported_queries
+
+
+@dataclass
+class Engine:
+    """Base engine adapter.
+
+    Attributes:
+        name: registry name of the configuration.
+        capabilities: see :class:`EngineCapabilities`.
+    """
+
+    name: str = "engine"
+    capabilities: EngineCapabilities = field(default_factory=EngineCapabilities)
+
+    def __post_init__(self) -> None:
+        self.dataset: GenBaseDataset | None = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def load(self, dataset: GenBaseDataset) -> None:
+        """Ingest the dataset into the engine's storage (not timed)."""
+        self.dataset = dataset
+        self._load(dataset)
+
+    def _load(self, dataset: GenBaseDataset) -> None:
+        raise NotImplementedError
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, query: str, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        """Run one query; dispatches to ``_run_<query>``."""
+        if self.dataset is None:
+            raise RuntimeError(f"engine {self.name!r} has no dataset loaded")
+        query = validate_query_name(query)
+        if not self.capabilities.supports(query):
+            raise UnsupportedQueryError(
+                f"engine {self.name!r} does not support the {query!r} query"
+            )
+        method = getattr(self, f"_run_{query}", None)
+        if method is None:
+            raise UnsupportedQueryError(
+                f"engine {self.name!r} has no implementation for {query!r}"
+            )
+        return method(parameters, timer)
+
+    # -- helpers shared by several adapters -------------------------------------------
+
+    @staticmethod
+    def _gene_scores(sample_matrix: np.ndarray) -> np.ndarray:
+        """Per-gene score used by the statistics query: mean over the sampled patients."""
+        return np.asarray(sample_matrix, dtype=np.float64).mean(axis=0)

@@ -1,0 +1,349 @@
+"""The column-store configurations (paper configurations 4 and 5).
+
+Both engines run data management in the compressed, vectorised column store;
+they differ in where the analytics run:
+
+* :class:`ColumnStoreREngine` — exports the query result as CSV to the
+  external R environment (copy/reformat cost charged to data management),
+  then runs R's BLAS-backed analytics; this is the paper's
+  "column store + R".
+* :class:`ColumnStoreUdfEngine` — runs the same R functions *inside* the
+  database through the UDF host, paying per-call marshalling instead of a
+  CSV round trip; this is the paper's "column store + UDFs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.colstore import ColumnQuery, ColumnStore
+from repro.colstore.udf import UdfHost
+from repro.core.engines.base import Engine, EngineCapabilities
+from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.spec import QueryParameters
+from repro.core.timing import PhaseTimer
+from repro.datagen.dataset import GenBaseDataset
+from repro.linalg.covariance import top_covariant_pairs
+from repro.rlang import stats as r
+from repro.rlang.dataframe import DataFrame
+from repro.rlang.io import dataframe_from_csv_string, dataframe_to_csv_string
+
+
+class _ColumnStoreDataManagement(Engine):
+    """Shared column-store loading and data-management plans."""
+
+    def _load(self, dataset: GenBaseDataset) -> None:
+        self.store = ColumnStore("genbase")
+        micro = dataset.microarray_relational()
+        self.store.create_table(
+            "microarray",
+            {
+                "gene_id": micro[:, 0].astype(np.int64),
+                "patient_id": micro[:, 1].astype(np.int64),
+                "expression_value": micro[:, 2],
+            },
+        )
+        self.store.create_table(
+            "genes",
+            {
+                "gene_id": dataset.genes.gene_id,
+                "target": dataset.genes.target,
+                "position": dataset.genes.position,
+                "length": dataset.genes.length,
+                "function": dataset.genes.function,
+            },
+        )
+        self.store.create_table(
+            "patients",
+            {
+                "patient_id": dataset.patients.patient_id,
+                "age": dataset.patients.age,
+                "gender": dataset.patients.gender,
+                "zipcode": dataset.patients.zipcode,
+                "disease_id": dataset.patients.disease_id,
+                "drug_response": dataset.patients.drug_response,
+            },
+        )
+        go = dataset.ontology_relational(include_zeros=False)
+        self.store.create_table(
+            "ontology",
+            {"gene_id": go[:, 0].astype(np.int64), "go_id": go[:, 1].astype(np.int64)},
+        )
+        self.n_go_terms = dataset.ontology.n_go_terms
+
+    # -- reusable vectorised plans --------------------------------------------------------
+
+    def _microarray_for_genes(self, gene_ids: np.ndarray) -> ColumnQuery:
+        """Join a gene-id selection against the microarray (late materialised)."""
+        joined = (
+            self.store.query("microarray").where_in("gene_id", gene_ids)
+        )
+        return joined
+
+    def _microarray_for_patients(self, patient_ids: np.ndarray) -> ColumnQuery:
+        """Join a patient-id selection against the microarray."""
+        return self.store.query("microarray").where_in("patient_id", patient_ids)
+
+    def _selected_gene_ids(self, threshold: int) -> np.ndarray:
+        return self.store.query("genes").where("function", lambda v: v < threshold).column("gene_id")
+
+    def _drug_response_for(self, patient_labels: np.ndarray) -> np.ndarray:
+        patients = self.store.query("patients")
+        ids = patients.column("patient_id")
+        response = patients.column("drug_response")
+        lookup = dict(zip(ids.tolist(), response.tolist()))
+        return np.asarray([lookup[int(label)] for label in patient_labels])
+
+    def _membership_matrix(self, gene_labels: np.ndarray) -> np.ndarray:
+        membership = np.zeros((len(gene_labels), self.n_go_terms), dtype=np.int8)
+        positions = {int(label): position for position, label in enumerate(gene_labels)}
+        ontology = self.store.query("ontology")
+        for gene_id, go_id in zip(ontology.column("gene_id").tolist(), ontology.column("go_id").tolist()):
+            position = positions.get(int(gene_id))
+            if position is not None:
+                membership[position, int(go_id)] = 1
+        return membership
+
+    # -- the common per-query data-management stage ------------------------------------------
+
+    def _pivot_regression(self, parameters: QueryParameters):
+        threshold = parameters.function_threshold(self.dataset.spec)
+        genes = self._selected_gene_ids(threshold)
+        joined = self._microarray_for_genes(genes)
+        matrix, patient_labels, gene_labels = joined.pivot(
+            "patient_id", "gene_id", "expression_value"
+        )
+        response = self._drug_response_for(patient_labels)
+        return matrix, patient_labels, gene_labels, response
+
+    def _pivot_patient_filter(self, patient_ids: np.ndarray):
+        joined = self._microarray_for_patients(patient_ids)
+        return joined.pivot("patient_id", "gene_id", "expression_value")
+
+
+class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
+    """The five queries, parameterised over how the analytics are invoked.
+
+    Subclasses provide ``_analytics_*`` hooks; the data-management shape is
+    identical for both column-store configurations.
+    """
+
+    # Analytics hooks -----------------------------------------------------------------
+
+    def _analytics_regression(self, matrix, response, timer):
+        raise NotImplementedError
+
+    def _analytics_covariance(self, matrix, timer):
+        raise NotImplementedError
+
+    def _analytics_biclustering(self, matrix, parameters, timer):
+        raise NotImplementedError
+
+    def _analytics_svd(self, matrix, k, parameters, timer):
+        raise NotImplementedError
+
+    def _analytics_statistics(self, gene_scores, membership, parameters, timer):
+        raise NotImplementedError
+
+    # Queries --------------------------------------------------------------------------
+
+    def _run_regression(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        with timer.data_management():
+            matrix, patient_labels, gene_labels, response = self._pivot_regression(parameters)
+        fit = self._analytics_regression(matrix, response, timer)
+        return QueryOutput(
+            query="regression",
+            summary={
+                "n_selected_genes": int(len(gene_labels)),
+                "n_patients": int(matrix.shape[0]),
+                "r_squared": float(fit.r_squared),
+            },
+            payload=fit,
+        )
+
+    def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        diseases = np.asarray(sorted(parameters.covariance_diseases))
+        with timer.data_management():
+            patient_ids = (
+                self.store.query("patients")
+                .where("disease_id", lambda v: np.isin(v, diseases))
+                .column("patient_id")
+            )
+            matrix, _patients, gene_labels = self._pivot_patient_filter(patient_ids)
+        cov = self._analytics_covariance(matrix, timer)
+        with timer.analytics():
+            gene_a, gene_b, values = top_covariant_pairs(
+                cov, fraction=parameters.covariance_top_fraction
+            )
+        with timer.data_management():
+            functions = self.store.query("genes").column("function")
+            gene_labels = np.asarray(gene_labels, dtype=np.int64)
+            joined_rows = int(len(gene_a)) if len(gene_a) else 0
+            _pair_functions = functions[gene_labels[gene_a]] if joined_rows else np.empty(0)
+        return QueryOutput(
+            query="covariance",
+            summary={
+                "n_selected_patients": int(matrix.shape[0]),
+                "n_pairs_kept": int(len(gene_a)),
+                "max_covariance": float(values[0]) if len(values) else 0.0,
+            },
+            payload={"covariance": cov},
+        )
+
+    def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        with timer.data_management():
+            patient_ids = (
+                self.store.query("patients")
+                .where("gender", lambda v: v == parameters.bicluster_gender)
+                .where("age", lambda v: v < parameters.bicluster_max_age)
+                .column("patient_id")
+            )
+            matrix, _patients, _genes = self._pivot_patient_filter(patient_ids)
+        result = self._analytics_biclustering(matrix, parameters, timer)
+        shapes = [bicluster.shape for bicluster in result]
+        return QueryOutput(
+            query="biclustering",
+            summary={
+                "n_selected_patients": int(matrix.shape[0]),
+                "n_biclusters": int(len(result)),
+                "largest_bicluster_cells": int(max((rows * cols for rows, cols in shapes), default=0)),
+            },
+            payload=result,
+        )
+
+    def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        threshold = parameters.function_threshold(self.dataset.spec)
+        with timer.data_management():
+            genes = self._selected_gene_ids(threshold)
+            joined = self._microarray_for_genes(genes)
+            matrix, _patients, gene_labels = joined.pivot(
+                "patient_id", "gene_id", "expression_value"
+            )
+        k = max(1, min(parameters.svd_k(self.dataset.spec), matrix.shape[1]))
+        result = self._analytics_svd(matrix, k, parameters, timer)
+        singular_values = np.asarray(
+            result.singular_values if hasattr(result, "singular_values") else result
+        )
+        return QueryOutput(
+            query="svd",
+            summary={
+                "n_selected_genes": int(len(gene_labels)),
+                "k": int(len(singular_values)),
+                "top_singular_value": float(singular_values[0]) if len(singular_values) else 0.0,
+            },
+            payload=result,
+        )
+
+    def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        sampled = statistics_patient_ids(self.dataset, parameters)
+        with timer.data_management():
+            matrix, _patients, gene_labels = self._pivot_patient_filter(sampled)
+            gene_scores = self._gene_scores(matrix)
+            membership = self._membership_matrix(np.asarray(gene_labels, dtype=np.int64))
+        result = self._analytics_statistics(gene_scores, membership, parameters, timer)
+        return QueryOutput(
+            query="statistics",
+            summary={
+                "n_sampled_patients": int(matrix.shape[0]),
+                "n_terms": int(len(result.go_ids)),
+                "n_significant": int(result.significant.sum()),
+            },
+            payload=result,
+        )
+
+
+@dataclass
+class ColumnStoreREngine(_ColumnStoreQueryMixin):
+    """Column store for data management, external R (CSV hand-off) for analytics."""
+
+    name: str = "columnstore-r"
+    capabilities: EngineCapabilities = field(
+        default_factory=lambda: EngineCapabilities(uses_external_analytics=True)
+    )
+
+    def _ship_matrix_to_r(self, matrix: np.ndarray, timer: PhaseTimer) -> np.ndarray:
+        """Serialise a matrix through CSV into the R environment (DM cost)."""
+        with timer.data_management():
+            frame = DataFrame({f"c{i}": matrix[:, i] for i in range(matrix.shape[1])}) if matrix.size else DataFrame({"c0": np.empty(0)})
+            payload = dataframe_to_csv_string(frame)
+            timer.note("export_bytes", float(len(payload)))
+            parsed = dataframe_from_csv_string(payload)
+            shipped = parsed.as_matrix() if matrix.size else matrix
+        return shipped
+
+    def _analytics_regression(self, matrix, response, timer):
+        shipped = self._ship_matrix_to_r(np.column_stack([matrix, response]), timer)
+        with timer.analytics():
+            return r.lm(shipped[:, :-1], shipped[:, -1])
+
+    def _analytics_covariance(self, matrix, timer):
+        shipped = self._ship_matrix_to_r(matrix, timer)
+        with timer.analytics():
+            return r.cov(shipped)
+
+    def _analytics_biclustering(self, matrix, parameters, timer):
+        shipped = self._ship_matrix_to_r(matrix, timer)
+        with timer.analytics():
+            return r.biclust(shipped, n_biclusters=parameters.n_biclusters, seed=parameters.seed)
+
+    def _analytics_svd(self, matrix, k, parameters, timer):
+        shipped = self._ship_matrix_to_r(matrix, timer)
+        with timer.analytics():
+            return r.svd(shipped, k=k, seed=parameters.seed)
+
+    def _analytics_statistics(self, gene_scores, membership, parameters, timer):
+        shipped = self._ship_matrix_to_r(
+            np.column_stack([gene_scores, membership.astype(np.float64)]), timer
+        )
+        with timer.analytics():
+            return r.enrichment(shipped[:, 0], shipped[:, 1:], alpha=parameters.statistics_alpha)
+
+
+@dataclass
+class ColumnStoreUdfEngine(_ColumnStoreQueryMixin):
+    """Column store with in-database R UDFs (argument marshalling, no CSV)."""
+
+    name: str = "columnstore-udf"
+    capabilities: EngineCapabilities = field(default_factory=EngineCapabilities)
+    udf_host: UdfHost = field(default_factory=UdfHost)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # The in-DB registry covers regression/covariance/enrichment; SVD and
+        # biclustering are registered here as additional R UDFs.
+        if "svd" not in self.udf_host.registry:
+            self.udf_host.register(
+                "svd",
+                lambda matrix, k, seed: r.svd(matrix, k=k, seed=seed),
+                description="R svd() via in-DB UDF",
+            )
+        if "biclustering" not in self.udf_host.registry:
+            self.udf_host.register(
+                "biclustering",
+                lambda matrix, n, seed: r.biclust(matrix, n_biclusters=n, seed=seed),
+                description="R biclust() via in-DB UDF",
+            )
+
+    def _analytics_regression(self, matrix, response, timer):
+        with timer.analytics():
+            return self.udf_host.call("linear_regression", matrix, response)
+
+    def _analytics_covariance(self, matrix, timer):
+        with timer.analytics():
+            return self.udf_host.call("covariance", matrix)
+
+    def _analytics_biclustering(self, matrix, parameters, timer):
+        with timer.analytics():
+            return self.udf_host.call(
+                "biclustering", matrix, parameters.n_biclusters, parameters.seed
+            )
+
+    def _analytics_svd(self, matrix, k, parameters, timer):
+        with timer.analytics():
+            return self.udf_host.call("svd", matrix, k, parameters.seed)
+
+    def _analytics_statistics(self, gene_scores, membership, parameters, timer):
+        with timer.analytics():
+            return self.udf_host.call("enrichment", gene_scores, membership)

@@ -1,0 +1,206 @@
+"""The Hadoop configuration (paper configuration 7): Hive + Mahout.
+
+Data management compiles to MapReduce jobs through the Hive layer (so even a
+filter pays a full map/shuffle/reduce round trip) and the analytics run in
+the Mahout layer, whose kernels are MapReduce-structured and never touch a
+tuned linear algebra library.  Biclustering is not available, as in Mahout.
+
+This is the configuration the paper finds "good at neither data management
+nor analytics"; the same gap appears here for the same structural reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engines.base import Engine, EngineCapabilities
+from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.spec import QueryParameters
+from repro.core.timing import PhaseTimer
+from repro.datagen.dataset import GenBaseDataset
+from repro.linalg.covariance import top_covariant_pairs
+from repro.mapreduce import HiveSession, HiveTable, Mahout, MapReduceEngine
+
+
+@dataclass
+class HadoopEngine(Engine):
+    """Hive for data management, Mahout for analytics."""
+
+    name: str = "hadoop"
+    n_splits: int = 4
+    capabilities: EngineCapabilities = field(
+        default_factory=lambda: EngineCapabilities(
+            supported_queries=frozenset({"regression", "covariance", "svd", "statistics"}),
+        )
+    )
+
+    def _load(self, dataset: GenBaseDataset) -> None:
+        self.mr_engine = MapReduceEngine(n_splits=self.n_splits)
+        self.hive = HiveSession(self.mr_engine)
+        self.mahout = Mahout(self.mr_engine)
+        self.microarray = HiveTable.from_array(
+            "microarray",
+            ["gene_id", "patient_id", "expression_value"],
+            dataset.microarray_relational(),
+        )
+        self.genes = HiveTable.from_array(
+            "genes",
+            ["gene_id", "target", "position", "length", "function"],
+            dataset.genes_relational(),
+        )
+        self.patients = HiveTable.from_array(
+            "patients",
+            ["patient_id", "age", "gender", "zipcode", "disease_id", "drug_response"],
+            dataset.patients_relational(),
+        )
+        go = dataset.ontology_relational(include_zeros=False)
+        self.ontology = HiveTable.from_array("ontology", ["gene_id", "go_id", "belongs"], go)
+        self.n_go_terms = dataset.ontology.n_go_terms
+
+    # -- shared data-management plans -----------------------------------------------------
+
+    @staticmethod
+    def _pivot(table: HiveTable, row_key: str, column_key: str, value: str):
+        """Driver-side pivot of a (long) Hive result into a dense matrix."""
+        rows = np.asarray(table.column_values(row_key), dtype=np.int64)
+        cols = np.asarray(table.column_values(column_key), dtype=np.int64)
+        values = np.asarray(table.column_values(value), dtype=np.float64)
+        row_labels, row_positions = np.unique(rows, return_inverse=True)
+        column_labels, column_positions = np.unique(cols, return_inverse=True)
+        matrix = np.zeros((len(row_labels), len(column_labels)))
+        matrix[row_positions, column_positions] = values
+        return matrix, row_labels, column_labels
+
+    def _join_genes_by_function(self, threshold: int) -> HiveTable:
+        selected = self.hive.select(self.genes, lambda row: row["function"] < threshold)
+        projected = self.hive.project(selected, ["gene_id"])
+        return self.hive.join(projected, self.microarray, "gene_id", "gene_id")
+
+    def _join_patients(self, predicate) -> HiveTable:
+        selected = self.hive.select(self.patients, predicate)
+        projected = self.hive.project(selected, ["patient_id"])
+        return self.hive.join(projected, self.microarray, "patient_id", "patient_id")
+
+    def _drug_response_for(self, patient_labels: np.ndarray) -> np.ndarray:
+        table = self.hive.project(self.patients, ["patient_id", "drug_response"])
+        lookup = {int(p): v for p, v in table.rows}
+        return np.asarray([lookup[int(label)] for label in patient_labels])
+
+    def _membership_matrix(self, gene_labels: np.ndarray) -> np.ndarray:
+        membership = np.zeros((len(gene_labels), self.n_go_terms), dtype=np.int8)
+        positions = {int(label): i for i, label in enumerate(gene_labels)}
+        for gene_id, go_id, _belongs in self.ontology.rows:
+            position = positions.get(int(gene_id))
+            if position is not None:
+                membership[position, int(go_id)] = 1
+        return membership
+
+    # -- Q1 ------------------------------------------------------------------------------------
+
+    def _run_regression(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        threshold = parameters.function_threshold(self.dataset.spec)
+        with timer.data_management():
+            joined = self._join_genes_by_function(threshold)
+            matrix, patient_labels, gene_labels = self._pivot(
+                joined, "patient_id", "gene_id_right", "expression_value"
+            )
+            response = self._drug_response_for(patient_labels)
+        with timer.analytics():
+            beta = self.mahout.linear_regression(matrix, response)
+            predictions = matrix @ beta[1:] + beta[0]
+            residual_ss = float(np.sum((response - predictions) ** 2))
+            total_ss = float(np.sum((response - response.mean()) ** 2))
+            r_squared = 1.0 - residual_ss / total_ss if total_ss > 0 else 1.0
+        return QueryOutput(
+            query="regression",
+            summary={
+                "n_selected_genes": int(len(gene_labels)),
+                "n_patients": int(matrix.shape[0]),
+                "r_squared": float(r_squared),
+            },
+            payload=beta,
+        )
+
+    # -- Q2 ------------------------------------------------------------------------------------
+
+    def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        diseases = set(int(d) for d in parameters.covariance_diseases)
+        with timer.data_management():
+            joined = self._join_patients(lambda row: int(row["disease_id"]) in diseases)
+            matrix, patient_labels, gene_labels = self._pivot(
+                joined, "patient_id_right", "gene_id", "expression_value"
+            )
+        with timer.analytics():
+            cov = self.mahout.covariance(matrix)
+            gene_a, gene_b, values = top_covariant_pairs(
+                cov, fraction=parameters.covariance_top_fraction
+            )
+        with timer.data_management():
+            pairs_table = HiveTable(
+                "pairs",
+                ("gene_id", "covariance"),
+                [(int(gene_labels[a]), float(v)) for a, v in zip(gene_a, values)],
+            )
+            joined_meta = self.hive.join(pairs_table, self.genes, "gene_id", "gene_id") if len(pairs_table) else pairs_table
+        return QueryOutput(
+            query="covariance",
+            summary={
+                "n_selected_patients": int(matrix.shape[0]),
+                "n_pairs_kept": int(len(gene_a)),
+                "max_covariance": float(values[0]) if len(values) else 0.0,
+            },
+            payload={"covariance": cov, "joined_rows": len(joined_meta)},
+        )
+
+    # -- Q3 (unsupported) -------------------------------------------------------------------------
+
+    # Mahout has no biclustering; the capability set above excludes the query
+    # and the base class raises UnsupportedQueryError before dispatch.
+
+    # -- Q4 ------------------------------------------------------------------------------------
+
+    def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        threshold = parameters.function_threshold(self.dataset.spec)
+        with timer.data_management():
+            joined = self._join_genes_by_function(threshold)
+            matrix, _patients, gene_labels = self._pivot(
+                joined, "patient_id", "gene_id_right", "expression_value"
+            )
+        k = max(1, min(parameters.svd_k(self.dataset.spec), matrix.shape[1]))
+        with timer.analytics():
+            singular_values = self.mahout.truncated_svd(matrix, k=k, seed=parameters.seed)
+        return QueryOutput(
+            query="svd",
+            summary={
+                "n_selected_genes": int(len(gene_labels)),
+                "k": int(len(singular_values)),
+                "top_singular_value": float(singular_values[0]) if len(singular_values) else 0.0,
+            },
+            payload=singular_values,
+        )
+
+    # -- Q5 ------------------------------------------------------------------------------------
+
+    def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        sampled = set(int(p) for p in statistics_patient_ids(self.dataset, parameters))
+        with timer.data_management():
+            joined = self._join_patients(lambda row: int(row["patient_id"]) in sampled)
+            matrix, _patients, gene_labels = self._pivot(
+                joined, "patient_id_right", "gene_id", "expression_value"
+            )
+            gene_scores = self._gene_scores(matrix)
+            membership = self._membership_matrix(gene_labels)
+        with timer.analytics():
+            p_values = self.mahout.wilcoxon_enrichment(gene_scores, membership)
+        significant = p_values < parameters.statistics_alpha
+        return QueryOutput(
+            query="statistics",
+            summary={
+                "n_sampled_patients": int(matrix.shape[0]),
+                "n_terms": int(len(p_values)),
+                "n_significant": int(significant.sum()),
+            },
+            payload=p_values,
+        )

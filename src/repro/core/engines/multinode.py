@@ -1,0 +1,561 @@
+"""Multi-node engine configurations (paper Figures 3 and 4).
+
+Five configurations run multi-node in the paper: SciDB, Hadoop, the column
+store with pbdR, the column store with UDFs, and pbdR on its own.  All of
+them are built here on the :mod:`repro.cluster` substrate:
+
+* the expression matrix and patient metadata are row-partitioned across the
+  simulated nodes at load time (gene metadata and GO data are replicated,
+  as every real system does for small dimension tables);
+* the data-management phase runs per node on that node's partition, and its
+  simulated elapsed time is the slowest node plus any network traffic;
+* the analytics phase differs by configuration:
+
+  - **pbdR** and **column store + pbdR** use the ScaLAPACK layer
+    (distributed covariance / normal equations / Lanczos with all-reduces),
+  - **SciDB** uses the same distributed kernels but pays an extra
+    re-chunking redistribution after its filters (the data movement the
+    paper suggests explains its 1→2 node regression),
+  - **column store + UDFs** gathers the filtered partitions to one node and
+    runs the single-node UDF analytics there (UDFs do not parallelise),
+  - **Hadoop** runs per-node Hive jobs for data management, gathers the
+    joined output, and runs the driver-side Mahout analytics without
+    parallelism credit (a conservative simplification recorded in
+    DESIGN.md; the paper's qualitative finding — Hadoop is slowest and
+    scales poorly — is insensitive to it).
+
+Phase times recorded by these engines are *simulated parallel* times:
+measured per-node compute combined with modelled network seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster import Cluster, DistributedMatrix, ScaLAPACK
+from repro.core.engines.base import Engine, EngineCapabilities, UnsupportedQueryError
+from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.spec import QueryParameters
+from repro.core.timing import PhaseTimer
+from repro.datagen.dataset import GenBaseDataset
+from repro.linalg.biclustering import cheng_church
+from repro.linalg.covariance import top_covariant_pairs
+from repro.linalg.wilcoxon import enrichment_analysis
+from repro.mapreduce import HiveSession, HiveTable, Mahout, MapReduceEngine
+
+
+@dataclass
+class NodePartition:
+    """One node's slice of the GenBase data (patients are the partition key)."""
+
+    patient_ids: np.ndarray
+    expression: np.ndarray
+    age: np.ndarray
+    gender: np.ndarray
+    disease_id: np.ndarray
+    drug_response: np.ndarray
+
+
+@dataclass
+class _MultiNodeEngine(Engine):
+    """Shared loading, partitioning and phase-accounting machinery."""
+
+    name: str = "multi-node"
+    n_nodes: int = 2
+    capabilities: EngineCapabilities = field(
+        default_factory=lambda: EngineCapabilities(multi_node=True)
+    )
+    #: Whether the filtered matrix is redistributed (re-chunked) after the
+    #: data-management filters — SciDB pays this, the pbdR variants do not.
+    redistribute_after_filter: bool = False
+
+    def _load(self, dataset: GenBaseDataset) -> None:
+        self.cluster = Cluster(self.n_nodes)
+        boundaries = np.array_split(np.arange(dataset.n_patients), self.n_nodes)
+        matrix = dataset.expression_matrix
+        patients = dataset.patients
+        self.partitions = [
+            NodePartition(
+                patient_ids=ids,
+                expression=matrix[ids],
+                age=patients.age[ids],
+                gender=patients.gender[ids],
+                disease_id=patients.disease_id[ids],
+                drug_response=patients.drug_response[ids],
+            )
+            for ids in boundaries
+        ]
+        self.gene_function = dataset.genes.function
+        self.go_membership = dataset.ontology.membership
+        self.n_go_terms = dataset.ontology.n_go_terms
+
+    # -- phase accounting helpers -----------------------------------------------------------
+
+    def _timed_cluster_phase(self, timer_add, work) -> list:
+        """Run ``work`` (which uses the cluster) and charge its simulated time."""
+        before = self.cluster.simulated_elapsed_seconds
+        outputs = work()
+        timer_add(self.cluster.simulated_elapsed_seconds - before)
+        return outputs
+
+    # -- per-node data-management primitives ---------------------------------------------------
+
+    def _filter_patients_local(self, predicate) -> list[NodePartition]:
+        """Apply a patient predicate on every node, returning filtered partitions."""
+        def local(partition: NodePartition, _node: int) -> NodePartition:
+            mask = predicate(partition)
+            return NodePartition(
+                patient_ids=partition.patient_ids[mask],
+                expression=partition.expression[mask],
+                age=partition.age[mask],
+                gender=partition.gender[mask],
+                disease_id=partition.disease_id[mask],
+                drug_response=partition.drug_response[mask],
+            )
+
+        result = self.cluster.map_partitions(self.partitions, local)
+        return list(result.outputs)
+
+    def _project_genes_local(self, partitions: list[NodePartition], gene_ids: np.ndarray) -> list[np.ndarray]:
+        """Project each node's expression block onto the selected gene columns."""
+        def local(partition: NodePartition, _node: int) -> np.ndarray:
+            return partition.expression[:, gene_ids]
+
+        result = self.cluster.map_partitions(partitions, local)
+        return [np.asarray(block) for block in result.outputs]
+
+    def _maybe_redistribute(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Charge a re-chunking shuffle of the filtered blocks (SciDB only)."""
+        if not self.redistribute_after_filter or self.n_nodes == 1:
+            return blocks
+        gathered = self.cluster.gather(blocks, destination=0, label="rechunk-gather")
+        scattered = self.cluster.scatter(list(gathered.outputs), source=0, label="rechunk-scatter")
+        return [np.asarray(block) for block in scattered.outputs]
+
+    def _distributed(self, blocks: list[np.ndarray], n_columns: int) -> DistributedMatrix:
+        return DistributedMatrix(cluster=self.cluster, partitions=blocks, n_columns=n_columns)
+
+    def _gather_dense(self, blocks: list[np.ndarray], timer_add) -> np.ndarray:
+        """Gather per-node blocks to the driver, charging the network."""
+        def work():
+            gathered = self.cluster.gather(blocks, destination=0, label="gather-analytics")
+            return gathered.outputs
+
+        outputs = self._timed_cluster_phase(timer_add, work)
+        stackable = [np.asarray(block) for block in outputs if np.asarray(block).size]
+        if not stackable:
+            return np.empty((0, blocks[0].shape[1] if blocks and blocks[0].ndim == 2 else 0))
+        return np.vstack(stackable)
+
+    # -- selections (replicated metadata, evaluated on the driver) ------------------------------
+
+    def _selected_gene_ids(self, parameters: QueryParameters) -> np.ndarray:
+        threshold = parameters.function_threshold(self.dataset.spec)
+        return np.flatnonzero(self.gene_function < threshold)
+
+
+class _DistributedAnalyticsMixin(_MultiNodeEngine):
+    """Analytics via the ScaLAPACK layer (pbdR, column store + pbdR, SciDB)."""
+
+    def _run_regression(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        genes = self._selected_gene_ids(parameters)
+
+        def dm():
+            blocks = self._project_genes_local(self.partitions, genes)
+            return self._maybe_redistribute(blocks)
+
+        blocks = self._timed_cluster_phase(timer.add_data_management, dm)
+        responses = [partition.drug_response.reshape(-1, 1) for partition in self.partitions]
+
+        def analytics():
+            scalapack = ScaLAPACK(self.cluster)
+            features = self._distributed(blocks, len(genes))
+            target = self._distributed(responses, 1)
+            return [scalapack.linear_regression(features, target)]
+
+        fit = self._timed_cluster_phase(timer.add_analytics, analytics)[0]
+        return QueryOutput(
+            query="regression",
+            summary={
+                "n_selected_genes": int(len(genes)),
+                "n_patients": int(sum(len(p.patient_ids) for p in self.partitions)),
+                "r_squared": float(fit.r_squared),
+            },
+            payload=fit,
+        )
+
+    def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        diseases = np.asarray(sorted(parameters.covariance_diseases))
+
+        def dm():
+            filtered = self._filter_patients_local(
+                lambda p: np.isin(p.disease_id, diseases)
+            )
+            blocks = [partition.expression for partition in filtered]
+            return filtered, self._maybe_redistribute(blocks)
+
+        filtered, blocks = self._timed_cluster_phase(timer.add_data_management, dm)
+
+        def analytics():
+            scalapack = ScaLAPACK(self.cluster)
+            matrix = self._distributed(blocks, self.dataset.n_genes)
+            cov = scalapack.covariance(matrix)
+            return [top_covariant_pairs(cov, fraction=parameters.covariance_top_fraction) + (cov,)]
+
+        gene_a, gene_b, values, cov = self._timed_cluster_phase(timer.add_analytics, analytics)[0]
+        n_selected = int(sum(len(p.patient_ids) for p in filtered))
+        return QueryOutput(
+            query="covariance",
+            summary={
+                "n_selected_patients": n_selected,
+                "n_pairs_kept": int(len(gene_a)),
+                "max_covariance": float(values[0]) if len(values) else 0.0,
+            },
+            payload={"covariance": cov},
+        )
+
+    def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        def dm():
+            filtered = self._filter_patients_local(
+                lambda p: (p.gender == parameters.bicluster_gender)
+                & (p.age < parameters.bicluster_max_age)
+            )
+            return filtered
+
+        filtered = self._timed_cluster_phase(timer.add_data_management, dm)
+        blocks = [partition.expression for partition in filtered]
+        dense = self._gather_dense(blocks, timer.add_analytics)
+        with timer.analytics():
+            result = cheng_church(
+                dense, n_biclusters=parameters.n_biclusters, seed=parameters.seed
+            )
+        shapes = [bicluster.shape for bicluster in result]
+        return QueryOutput(
+            query="biclustering",
+            summary={
+                "n_selected_patients": int(dense.shape[0]),
+                "n_biclusters": int(len(result)),
+                "largest_bicluster_cells": int(max((rows * cols for rows, cols in shapes), default=0)),
+            },
+            payload=result,
+        )
+
+    def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        genes = self._selected_gene_ids(parameters)
+
+        def dm():
+            blocks = self._project_genes_local(self.partitions, genes)
+            return self._maybe_redistribute(blocks)
+
+        blocks = self._timed_cluster_phase(timer.add_data_management, dm)
+        k = max(1, min(parameters.svd_k(self.dataset.spec), len(genes))) if len(genes) else 1
+
+        def analytics():
+            scalapack = ScaLAPACK(self.cluster)
+            matrix = self._distributed(blocks, len(genes))
+            return [scalapack.lanczos_svd(matrix, k=k, seed=parameters.seed)]
+
+        result = self._timed_cluster_phase(timer.add_analytics, analytics)[0]
+        return QueryOutput(
+            query="svd",
+            summary={
+                "n_selected_genes": int(len(genes)),
+                "k": int(len(result.singular_values)),
+                "top_singular_value": float(result.singular_values[0]) if len(result.singular_values) else 0.0,
+            },
+            payload=result,
+        )
+
+    def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        sampled = set(int(p) for p in statistics_patient_ids(self.dataset, parameters))
+
+        def dm():
+            filtered = self._filter_patients_local(
+                lambda p: np.isin(p.patient_ids, np.asarray(sorted(sampled)))
+            )
+            # Per-node partial sums of the sampled rows (the distributed
+            # "rank genes by expression" step).
+            def local(partition: NodePartition, _node: int):
+                if partition.expression.size == 0:
+                    return (np.zeros(self.dataset.n_genes), 0)
+                return (partition.expression.sum(axis=0), partition.expression.shape[0])
+
+            result = self.cluster.map_partitions(filtered, local)
+            return result.outputs
+
+        partials = self._timed_cluster_phase(timer.add_data_management, dm)
+        totals = np.sum([np.asarray(sums) for sums, _count in partials], axis=0)
+        count = sum(int(c) for _sums, c in partials)
+        gene_scores = totals / max(count, 1)
+        with timer.analytics():
+            result = enrichment_analysis(
+                gene_scores, self.go_membership, alpha=parameters.statistics_alpha
+            )
+        return QueryOutput(
+            query="statistics",
+            summary={
+                "n_sampled_patients": int(count),
+                "n_terms": int(len(result.go_ids)),
+                "n_significant": int(result.significant.sum()),
+            },
+            payload=result,
+        )
+
+
+@dataclass
+class PbdREngine(_DistributedAnalyticsMixin):
+    """pbdR: R partitioned across nodes with ScaLAPACK analytics."""
+
+    name: str = "pbdr"
+    redistribute_after_filter: bool = False
+
+
+@dataclass
+class ColumnStorePbdREngine(_DistributedAnalyticsMixin):
+    """Column store for local data management, pbdR/ScaLAPACK for analytics."""
+
+    name: str = "columnstore-pbdr"
+    redistribute_after_filter: bool = False
+
+
+@dataclass
+class SciDBClusterEngine(_DistributedAnalyticsMixin):
+    """SciDB multi-node: same distributed kernels, plus re-chunking shuffles."""
+
+    name: str = "scidb-cluster"
+    redistribute_after_filter: bool = True
+
+
+@dataclass
+class ColumnStoreUdfClusterEngine(_MultiNodeEngine):
+    """Column store + UDFs multi-node: analytics gathered to a single node."""
+
+    name: str = "columnstore-udf-cluster"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        from repro.core.engines.colstore_engine import ColumnStoreUdfEngine
+
+        self._single_node = ColumnStoreUdfEngine()
+
+    def _load(self, dataset: GenBaseDataset) -> None:
+        super()._load(dataset)
+        self._single_node.load(dataset)
+
+    def _run_gathered(self, query: str, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        """Charge a gather of the (filtered) working set, then run single node."""
+        blocks = [partition.expression for partition in self.partitions]
+        if self.n_nodes > 1:
+            def work():
+                self.cluster.gather(blocks, destination=0, label="gather-for-udf")
+                return []
+
+            self._timed_cluster_phase(timer.add_data_management, work)
+        return self._single_node.run(query, parameters, timer)
+
+    def _run_regression(self, parameters, timer):
+        return self._run_gathered("regression", parameters, timer)
+
+    def _run_covariance(self, parameters, timer):
+        return self._run_gathered("covariance", parameters, timer)
+
+    def _run_biclustering(self, parameters, timer):
+        return self._run_gathered("biclustering", parameters, timer)
+
+    def _run_svd(self, parameters, timer):
+        return self._run_gathered("svd", parameters, timer)
+
+    def _run_statistics(self, parameters, timer):
+        return self._run_gathered("statistics", parameters, timer)
+
+
+@dataclass
+class HadoopClusterEngine(_MultiNodeEngine):
+    """Hadoop multi-node: per-node Hive jobs, driver-side Mahout analytics."""
+
+    name: str = "hadoop-cluster"
+    capabilities: EngineCapabilities = field(
+        default_factory=lambda: EngineCapabilities(
+            supported_queries=frozenset({"regression", "covariance", "svd", "statistics"}),
+            multi_node=True,
+        )
+    )
+
+    def _load(self, dataset: GenBaseDataset) -> None:
+        super()._load(dataset)
+        # Each node gets its own Hive session over its patients' microarray rows.
+        micro = dataset.microarray_relational()
+        patient_of_row = micro[:, 1].astype(np.int64)
+        self.node_hive: list[tuple[HiveSession, HiveTable, HiveTable]] = []
+        genes_rel = dataset.genes_relational()
+        patients_rel = dataset.patients_relational()
+        for partition in self.partitions:
+            mask = np.isin(patient_of_row, partition.patient_ids)
+            session = HiveSession(MapReduceEngine(n_splits=2))
+            micro_table = HiveTable.from_array(
+                "microarray", ["gene_id", "patient_id", "expression_value"], micro[mask]
+            )
+            patients_table = HiveTable.from_array(
+                "patients",
+                ["patient_id", "age", "gender", "zipcode", "disease_id", "drug_response"],
+                patients_rel[np.isin(patients_rel[:, 0].astype(np.int64), partition.patient_ids)],
+            )
+            self.node_hive.append((session, micro_table, patients_table))
+        self.genes_table = HiveTable.from_array(
+            "genes", ["gene_id", "target", "position", "length", "function"], genes_rel
+        )
+        self.mahout = Mahout(MapReduceEngine(n_splits=self.n_nodes))
+
+    # -- per-node Hive data management ------------------------------------------------------------
+
+    def _hive_join_per_node(self, patient_predicate=None, gene_threshold=None) -> list[HiveTable]:
+        """Run the filter + join plan on every node's local Hive session."""
+        def local(node_data, _node: int) -> HiveTable:
+            session, micro_table, patients_table = node_data
+            if gene_threshold is not None:
+                selected = session.select(
+                    self.genes_table, lambda row: row["function"] < gene_threshold
+                )
+                projected = session.project(selected, ["gene_id"])
+                return session.join(projected, micro_table, "gene_id", "gene_id")
+            selected = session.select(patients_table, patient_predicate)
+            projected = session.project(selected, ["patient_id"])
+            return session.join(projected, micro_table, "patient_id", "patient_id")
+
+        result = self.cluster.map_partitions(self.node_hive, local)
+        return list(result.outputs)
+
+    def _gather_joined(self, tables: list[HiveTable], timer: PhaseTimer,
+                       row_key: str, column_key: str) -> np.ndarray:
+        """Ship every node's join output to the driver and pivot it there."""
+        def work():
+            gathered = self.cluster.gather(
+                [table.rows for table in tables], destination=0, label="hive-gather"
+            )
+            return gathered.outputs
+
+        outputs = self._timed_cluster_phase(timer.add_data_management, work)
+        all_rows = [row for rows in outputs for row in rows]
+        if not all_rows:
+            return np.empty((0, 0)), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        columns = tables[0].columns
+        table = HiveTable("gathered", columns, all_rows)
+        rows = np.asarray(table.column_values(row_key), dtype=np.int64)
+        cols = np.asarray(table.column_values(column_key), dtype=np.int64)
+        values = np.asarray(table.column_values("expression_value"), dtype=np.float64)
+        row_labels, row_positions = np.unique(rows, return_inverse=True)
+        column_labels, column_positions = np.unique(cols, return_inverse=True)
+        matrix = np.zeros((len(row_labels), len(column_labels)))
+        matrix[row_positions, column_positions] = values
+        return matrix, row_labels, column_labels
+
+    # -- queries --------------------------------------------------------------------------------------
+
+    def _run_regression(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        threshold = parameters.function_threshold(self.dataset.spec)
+        tables = self._timed_cluster_phase(
+            timer.add_data_management,
+            lambda: self._hive_join_per_node(gene_threshold=threshold),
+        )
+        matrix, patient_labels, gene_labels = self._gather_joined(
+            tables, timer, "patient_id", "gene_id_right"
+        )
+        response_lookup = {
+            int(pid): float(dr)
+            for partition in self.partitions
+            for pid, dr in zip(partition.patient_ids, partition.drug_response)
+        }
+        response = np.asarray([response_lookup[int(p)] for p in patient_labels])
+        with timer.analytics():
+            beta = self.mahout.linear_regression(matrix, response)
+            predictions = matrix @ beta[1:] + beta[0]
+            total_ss = float(np.sum((response - response.mean()) ** 2))
+            r_squared = 1.0 - float(np.sum((response - predictions) ** 2)) / total_ss if total_ss else 1.0
+        return QueryOutput(
+            query="regression",
+            summary={
+                "n_selected_genes": int(len(gene_labels)),
+                "n_patients": int(matrix.shape[0]),
+                "r_squared": float(r_squared),
+            },
+            payload=beta,
+        )
+
+    def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        diseases = set(int(d) for d in parameters.covariance_diseases)
+        tables = self._timed_cluster_phase(
+            timer.add_data_management,
+            lambda: self._hive_join_per_node(
+                patient_predicate=lambda row: int(row["disease_id"]) in diseases
+            ),
+        )
+        matrix, _patients, _genes = self._gather_joined(
+            tables, timer, "patient_id_right", "gene_id"
+        )
+        with timer.analytics():
+            cov = self.mahout.covariance(matrix)
+            gene_a, _gene_b, values = top_covariant_pairs(
+                cov, fraction=parameters.covariance_top_fraction
+            )
+        return QueryOutput(
+            query="covariance",
+            summary={
+                "n_selected_patients": int(matrix.shape[0]),
+                "n_pairs_kept": int(len(gene_a)),
+                "max_covariance": float(values[0]) if len(values) else 0.0,
+            },
+            payload={"covariance": cov},
+        )
+
+    def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        threshold = parameters.function_threshold(self.dataset.spec)
+        tables = self._timed_cluster_phase(
+            timer.add_data_management,
+            lambda: self._hive_join_per_node(gene_threshold=threshold),
+        )
+        matrix, _patients, gene_labels = self._gather_joined(
+            tables, timer, "patient_id", "gene_id_right"
+        )
+        k = max(1, min(parameters.svd_k(self.dataset.spec), matrix.shape[1])) if matrix.size else 1
+        with timer.analytics():
+            singular_values = self.mahout.truncated_svd(matrix, k=k, seed=parameters.seed)
+        return QueryOutput(
+            query="svd",
+            summary={
+                "n_selected_genes": int(len(gene_labels)),
+                "k": int(len(singular_values)),
+                "top_singular_value": float(singular_values[0]) if len(singular_values) else 0.0,
+            },
+            payload=singular_values,
+        )
+
+    def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        sampled = set(int(p) for p in statistics_patient_ids(self.dataset, parameters))
+        tables = self._timed_cluster_phase(
+            timer.add_data_management,
+            lambda: self._hive_join_per_node(
+                patient_predicate=lambda row: int(row["patient_id"]) in sampled
+            ),
+        )
+        matrix, _patients, gene_labels = self._gather_joined(
+            tables, timer, "patient_id_right", "gene_id"
+        )
+        with timer.data_management():
+            gene_scores = self._gene_scores(matrix) if matrix.size else np.zeros(0)
+            membership = np.zeros((len(gene_labels), self.n_go_terms), dtype=np.int8)
+            for position, gene_id in enumerate(gene_labels):
+                membership[position] = self.go_membership[int(gene_id)]
+        with timer.analytics():
+            p_values = self.mahout.wilcoxon_enrichment(gene_scores, membership)
+        significant = p_values < parameters.statistics_alpha
+        return QueryOutput(
+            query="statistics",
+            summary={
+                "n_sampled_patients": int(matrix.shape[0]),
+                "n_terms": int(len(p_values)),
+                "n_significant": int(significant.sum()),
+            },
+            payload=p_values,
+        )

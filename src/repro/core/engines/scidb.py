@@ -1,0 +1,228 @@
+"""The array DBMS configuration (paper configuration 6).
+
+Data is stored natively as chunked arrays, so the GenBase queries need no
+table→matrix restructuring: the data-management phase is metadata filtering
+plus ``subarray`` extraction, and the analytics run either natively over the
+chunks (covariance, Lanczos SVD, Wilcoxon) or via the explicit chunked→dense
+conversion to the "ScaLAPACK" tier (regression, biclustering) — the two
+paths Section 6.2 of the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arraydb import ChunkedArray, linalg as array_linalg, operators as ops
+from repro.core.engines.base import Engine, EngineCapabilities
+from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.spec import QueryParameters
+from repro.core.timing import PhaseTimer
+from repro.datagen.dataset import GenBaseDataset
+from repro.linalg.biclustering import cheng_church
+from repro.linalg.covariance import top_covariant_pairs
+from repro.linalg.qr import linear_regression
+from repro.linalg.wilcoxon import enrichment_analysis
+
+
+@dataclass
+class SciDBEngine(Engine):
+    """Native array DBMS: chunked storage + chunk-wise analytics."""
+
+    name: str = "scidb"
+    chunk_size: int = 128
+    capabilities: EngineCapabilities = field(default_factory=EngineCapabilities)
+
+    def _load(self, dataset: GenBaseDataset) -> None:
+        chunk = self.chunk_size
+        self.expression = ChunkedArray.from_dense(
+            "expression",
+            dataset.expression_matrix,
+            dimension_names=["patient_id", "gene_id"],
+            attribute_name="value",
+            chunk_sizes=[chunk, chunk],
+        )
+        self.gene_function = ChunkedArray.from_dense(
+            "gene_function",
+            dataset.genes.function.astype(np.float64),
+            dimension_names=["gene_id"],
+            attribute_name="function",
+            chunk_sizes=[chunk],
+        )
+        self.patient_disease = ChunkedArray.from_dense(
+            "patient_disease",
+            dataset.patients.disease_id.astype(np.float64),
+            dimension_names=["patient_id"],
+            attribute_name="disease_id",
+            chunk_sizes=[chunk],
+        )
+        self.patient_age = ChunkedArray.from_dense(
+            "patient_age",
+            dataset.patients.age.astype(np.float64),
+            dimension_names=["patient_id"],
+            attribute_name="age",
+            chunk_sizes=[chunk],
+        )
+        self.patient_gender = ChunkedArray.from_dense(
+            "patient_gender",
+            dataset.patients.gender.astype(np.float64),
+            dimension_names=["patient_id"],
+            attribute_name="gender",
+            chunk_sizes=[chunk],
+        )
+        self.drug_response = ChunkedArray.from_dense(
+            "drug_response",
+            dataset.patients.drug_response,
+            dimension_names=["patient_id"],
+            attribute_name="drug_response",
+            chunk_sizes=[chunk],
+        )
+        self.go_membership = ChunkedArray.from_dense(
+            "go_membership",
+            dataset.ontology.membership.astype(np.float64),
+            dimension_names=["gene_id", "go_id"],
+            attribute_name="belongs",
+            chunk_sizes=[chunk, chunk],
+        )
+        self.gene_functions_dense = dataset.genes.function
+
+    # -- metadata-filter helpers (all chunk-wise) ----------------------------------------
+
+    @staticmethod
+    def _selected_coordinates(metadata: ChunkedArray, attribute: str, predicate) -> np.ndarray:
+        """Coordinates along a 1-D metadata array whose attribute satisfies a predicate."""
+        filtered = ops.filter_attribute(metadata, attribute, predicate)
+        coordinates, _values = filtered.attribute_cells(attribute)
+        return coordinates[0]
+
+    def _subarray_for_patients(self, patient_ids: np.ndarray) -> ChunkedArray:
+        return ops.subarray_by_index(self.expression, "patient_id", patient_ids)
+
+    def _subarray_for_genes(self, gene_ids: np.ndarray) -> ChunkedArray:
+        return ops.subarray_by_index(self.expression, "gene_id", gene_ids)
+
+    # -- Q1 ---------------------------------------------------------------------------------
+
+    def _run_regression(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        threshold = parameters.function_threshold(self.dataset.spec)
+        with timer.data_management():
+            genes = self._selected_coordinates(
+                self.gene_function, "function", lambda v: v < threshold
+            )
+            sub = self._subarray_for_genes(genes)
+            response = self.drug_response.to_dense()
+        with timer.analytics():
+            # Regression goes through the ScaLAPACK tier: explicit conversion
+            # from chunked to dense layout, then the LAPACK QR solver.
+            dense = array_linalg.to_scalapack(sub)
+            fit = linear_regression(dense, response, method="lapack")
+        return QueryOutput(
+            query="regression",
+            summary={
+                "n_selected_genes": int(len(genes)),
+                "n_patients": int(dense.shape[0]),
+                "r_squared": float(fit.r_squared),
+            },
+            payload=fit,
+        )
+
+    # -- Q2 ---------------------------------------------------------------------------------
+
+    def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        diseases = np.asarray(sorted(parameters.covariance_diseases), dtype=np.float64)
+        with timer.data_management():
+            patients = self._selected_coordinates(
+                self.patient_disease, "disease_id", lambda v: np.isin(v, diseases)
+            )
+            sub = self._subarray_for_patients(patients)
+        with timer.analytics():
+            cov = array_linalg.covariance(sub)
+            gene_a, gene_b, values = top_covariant_pairs(
+                cov, fraction=parameters.covariance_top_fraction
+            )
+        with timer.data_management():
+            _pair_functions = (
+                self.gene_functions_dense[gene_a] if len(gene_a) else np.empty(0)
+            )
+        return QueryOutput(
+            query="covariance",
+            summary={
+                "n_selected_patients": int(len(patients)),
+                "n_pairs_kept": int(len(gene_a)),
+                "max_covariance": float(values[0]) if len(values) else 0.0,
+            },
+            payload={"covariance": cov},
+        )
+
+    # -- Q3 ---------------------------------------------------------------------------------
+
+    def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        with timer.data_management():
+            male = self._selected_coordinates(
+                self.patient_gender, "gender", lambda v: v == parameters.bicluster_gender
+            )
+            young = self._selected_coordinates(
+                self.patient_age, "age", lambda v: v < parameters.bicluster_max_age
+            )
+            patients = np.intersect1d(male, young)
+            sub = self._subarray_for_patients(patients)
+        with timer.analytics():
+            dense = array_linalg.to_scalapack(sub)
+            result = cheng_church(
+                dense, n_biclusters=parameters.n_biclusters, seed=parameters.seed
+            )
+        shapes = [bicluster.shape for bicluster in result]
+        return QueryOutput(
+            query="biclustering",
+            summary={
+                "n_selected_patients": int(len(patients)),
+                "n_biclusters": int(len(result)),
+                "largest_bicluster_cells": int(max((rows * cols for rows, cols in shapes), default=0)),
+            },
+            payload=result,
+        )
+
+    # -- Q4 ---------------------------------------------------------------------------------
+
+    def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        threshold = parameters.function_threshold(self.dataset.spec)
+        with timer.data_management():
+            genes = self._selected_coordinates(
+                self.gene_function, "function", lambda v: v < threshold
+            )
+            sub = self._subarray_for_genes(genes)
+        k = max(1, min(parameters.svd_k(self.dataset.spec), len(genes))) if len(genes) else 1
+        with timer.analytics():
+            result = array_linalg.lanczos_svd_chunked(sub, k=k, seed=parameters.seed)
+        return QueryOutput(
+            query="svd",
+            summary={
+                "n_selected_genes": int(len(genes)),
+                "k": int(len(result.singular_values)),
+                "top_singular_value": float(result.singular_values[0]) if len(result.singular_values) else 0.0,
+            },
+            payload=result,
+        )
+
+    # -- Q5 ---------------------------------------------------------------------------------
+
+    def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        sampled = statistics_patient_ids(self.dataset, parameters)
+        with timer.data_management():
+            sub = self._subarray_for_patients(sampled)
+            gene_scores = ops.aggregate(sub, "value", "avg", along="gene_id")
+            membership = self.go_membership.to_dense()
+        with timer.analytics():
+            result = enrichment_analysis(
+                np.nan_to_num(gene_scores), membership, alpha=parameters.statistics_alpha
+            )
+        return QueryOutput(
+            query="statistics",
+            summary={
+                "n_sampled_patients": int(len(sampled)),
+                "n_terms": int(len(result.go_ids)),
+                "n_significant": int(result.significant.sum()),
+            },
+            payload=result,
+        )

@@ -1,0 +1,195 @@
+"""Engine-independent reference implementations of the five GenBase queries.
+
+Every engine adapter must produce answers equivalent to these.  The
+reference implementation works directly on the generated dataset's arrays
+with the shared kernels — no storage engine, no timing — and is used by the
+test suite to check engine correctness and by the runner's optional
+``verify`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spec import QueryParameters, default_parameters, validate_query_name
+from repro.datagen.dataset import GenBaseDataset
+from repro.linalg.biclustering import cheng_church
+from repro.linalg.covariance import covariance_matrix, top_covariant_pairs
+from repro.linalg.lanczos import lanczos_svd
+from repro.linalg.qr import linear_regression
+from repro.linalg.wilcoxon import enrichment_analysis
+
+
+@dataclass
+class QueryOutput:
+    """The engine-independent summary of one query's answer.
+
+    Engines fill the fields relevant to their query; the ``summary`` dict
+    carries a few scalar facts used for cross-engine comparison and the
+    ``payload`` keeps the full result object for callers that want it.
+    """
+
+    query: str
+    summary: dict = field(default_factory=dict)
+    payload: object | None = None
+
+    def scalar(self, key: str) -> float:
+        """Fetch one summary value (raises ``KeyError`` if absent)."""
+        return self.summary[key]
+
+
+# --------------------------------------------------------------------------- #
+# Shared selection helpers (used by the reference and by several engines)
+# --------------------------------------------------------------------------- #
+
+def selected_gene_ids(dataset: GenBaseDataset, parameters: QueryParameters) -> np.ndarray:
+    """Gene ids passing the Q1/Q4 function filter, sorted ascending."""
+    threshold = parameters.function_threshold(dataset.spec)
+    return np.flatnonzero(dataset.genes.function < threshold)
+
+
+def covariance_patient_ids(dataset: GenBaseDataset, parameters: QueryParameters) -> np.ndarray:
+    """Patient ids passing the Q2 disease filter, sorted ascending."""
+    diseases = np.asarray(sorted(parameters.covariance_diseases))
+    return np.flatnonzero(np.isin(dataset.patients.disease_id, diseases))
+
+
+def bicluster_patient_ids(dataset: GenBaseDataset, parameters: QueryParameters) -> np.ndarray:
+    """Patient ids passing the Q3 age/gender filter, sorted ascending."""
+    patients = dataset.patients
+    mask = (patients.gender == parameters.bicluster_gender) & (
+        patients.age < parameters.bicluster_max_age
+    )
+    return np.flatnonzero(mask)
+
+
+def statistics_patient_ids(dataset: GenBaseDataset, parameters: QueryParameters) -> np.ndarray:
+    """Patient ids in the Q5 sample, sorted ascending (deterministic)."""
+    fraction = parameters.sample_fraction(dataset.spec)
+    rng = np.random.default_rng(parameters.seed)
+    n_keep = max(1, int(round(fraction * dataset.n_patients)))
+    return np.sort(rng.choice(dataset.n_patients, size=n_keep, replace=False))
+
+
+# --------------------------------------------------------------------------- #
+# Reference implementation
+# --------------------------------------------------------------------------- #
+
+class ReferenceImplementation:
+    """Direct (numpy + shared kernels) implementation of the five queries."""
+
+    def __init__(self, dataset: GenBaseDataset, parameters: QueryParameters | None = None):
+        self.dataset = dataset
+        self.parameters = parameters or default_parameters(dataset.spec)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def run(self, query: str) -> QueryOutput:
+        """Run one query by name."""
+        query = validate_query_name(query)
+        method = getattr(self, query)
+        return method()
+
+    # -- Q1: predictive modelling -----------------------------------------------------
+
+    def regression(self) -> QueryOutput:
+        genes = selected_gene_ids(self.dataset, self.parameters)
+        features = self.dataset.expression_matrix[:, genes]
+        target = self.dataset.patients.drug_response
+        result = linear_regression(features, target, method="lapack")
+        return QueryOutput(
+            query="regression",
+            summary={
+                "n_selected_genes": int(len(genes)),
+                "n_patients": int(features.shape[0]),
+                "r_squared": float(result.r_squared),
+            },
+            payload=result,
+        )
+
+    # -- Q2: covariance -----------------------------------------------------------------
+
+    def covariance(self) -> QueryOutput:
+        patients = covariance_patient_ids(self.dataset, self.parameters)
+        matrix = self.dataset.expression_matrix[patients, :]
+        cov = covariance_matrix(matrix)
+        gene_a, gene_b, values = top_covariant_pairs(
+            cov, fraction=self.parameters.covariance_top_fraction
+        )
+        # Join the surviving pairs back to the gene metadata (function codes).
+        functions = self.dataset.genes.function
+        pair_functions = np.column_stack([functions[gene_a], functions[gene_b]]) if len(gene_a) else np.empty((0, 2))
+        return QueryOutput(
+            query="covariance",
+            summary={
+                "n_selected_patients": int(len(patients)),
+                "n_pairs_kept": int(len(gene_a)),
+                "max_covariance": float(values[0]) if len(values) else 0.0,
+            },
+            payload={
+                "covariance": cov,
+                "pairs": (gene_a, gene_b, values),
+                "pair_functions": pair_functions,
+            },
+        )
+
+    # -- Q3: biclustering ------------------------------------------------------------------
+
+    def biclustering(self) -> QueryOutput:
+        patients = bicluster_patient_ids(self.dataset, self.parameters)
+        matrix = self.dataset.expression_matrix[patients, :]
+        result = cheng_church(
+            matrix,
+            n_biclusters=self.parameters.n_biclusters,
+            seed=self.parameters.seed,
+        )
+        shapes = [bicluster.shape for bicluster in result]
+        return QueryOutput(
+            query="biclustering",
+            summary={
+                "n_selected_patients": int(len(patients)),
+                "n_biclusters": int(len(result)),
+                "largest_bicluster_cells": int(max((r * c for r, c in shapes), default=0)),
+            },
+            payload=result,
+        )
+
+    # -- Q4: SVD --------------------------------------------------------------------------------
+
+    def svd(self) -> QueryOutput:
+        genes = selected_gene_ids(self.dataset, self.parameters)
+        matrix = self.dataset.expression_matrix[:, genes]
+        k = min(self.parameters.svd_k(self.dataset.spec), len(genes)) if len(genes) else 1
+        result = lanczos_svd(matrix, k=max(1, k), seed=self.parameters.seed)
+        return QueryOutput(
+            query="svd",
+            summary={
+                "n_selected_genes": int(len(genes)),
+                "k": int(len(result.singular_values)),
+                "top_singular_value": float(result.singular_values[0]) if len(result.singular_values) else 0.0,
+            },
+            payload=result,
+        )
+
+    # -- Q5: statistics (enrichment) ---------------------------------------------------------------
+
+    def statistics(self) -> QueryOutput:
+        patients = statistics_patient_ids(self.dataset, self.parameters)
+        sample = self.dataset.expression_matrix[patients, :]
+        gene_scores = sample.mean(axis=0)
+        result = enrichment_analysis(
+            gene_scores,
+            self.dataset.ontology.membership,
+            alpha=self.parameters.statistics_alpha,
+        )
+        return QueryOutput(
+            query="statistics",
+            summary={
+                "n_sampled_patients": int(len(patients)),
+                "n_terms": int(len(result.go_ids)),
+                "n_significant": int(result.significant.sum()),
+            },
+            payload=result,
+        )

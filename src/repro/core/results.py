@@ -1,0 +1,226 @@
+"""Result tables and figure/table regeneration helpers.
+
+The ``benchmarks/`` harness uses these helpers to print, for every figure
+and table in the paper, the same rows/series the paper reports:
+
+* :class:`ResultTable` — a collection of :class:`~repro.core.runner.QueryResult`
+  records with grouping/pivoting helpers and an ASCII renderer,
+* :func:`figure_series` — the "time vs dataset size (or node count) per
+  system" series behind Figures 1, 3 and 5,
+* :func:`breakdown_series` — the data-management / analytics split behind
+  Figures 2 and 4,
+* :func:`speedup_table` — the Phi-vs-Xeon analytics speedups of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.runner import QueryResult, RunStatus
+
+
+@dataclass
+class ResultTable:
+    """A collection of benchmark results with reporting helpers."""
+
+    results: list[QueryResult] = field(default_factory=list)
+
+    def add(self, result: QueryResult) -> None:
+        self.results.append(result)
+
+    def extend(self, results: Iterable[QueryResult]) -> None:
+        self.results.extend(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    # -- selection ----------------------------------------------------------------------
+
+    def filter(self, query: str | None = None, engine: str | None = None,
+               dataset_size: str | None = None, n_nodes: int | None = None) -> "ResultTable":
+        """Return a sub-table matching the given criteria."""
+        selected = [
+            result for result in self.results
+            if (query is None or result.query == query)
+            and (engine is None or result.engine == engine)
+            and (dataset_size is None or result.dataset_size == dataset_size)
+            and (n_nodes is None or result.n_nodes == n_nodes)
+        ]
+        return ResultTable(selected)
+
+    def engines(self) -> list[str]:
+        return sorted({result.engine for result in self.results})
+
+    def sizes(self) -> list[str]:
+        seen: list[str] = []
+        for result in self.results:
+            if result.dataset_size not in seen:
+                seen.append(result.dataset_size)
+        return seen
+
+    def node_counts(self) -> list[int]:
+        return sorted({result.n_nodes for result in self.results})
+
+    # -- rendering -----------------------------------------------------------------------
+
+    def to_rows(self) -> list[dict]:
+        return [result.as_dict() for result in self.results]
+
+    def render(self, columns: Sequence[str] | None = None) -> str:
+        """Render as a fixed-width ASCII table."""
+        rows = self.to_rows()
+        if not rows:
+            return "(no results)"
+        columns = list(columns) if columns else list(rows[0].keys())
+        widths = {
+            column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+            for column in columns
+        }
+        header = "  ".join(column.ljust(widths[column]) for column in columns)
+        separator = "  ".join("-" * widths[column] for column in columns)
+        lines = [header, separator]
+        for row in rows:
+            lines.append(
+                "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+            )
+        return "\n".join(lines)
+
+
+def _value_or_ceiling(result: QueryResult | None, ceiling: float) -> float | None:
+    if result is None:
+        return None
+    return result.plot_value(ceiling)
+
+
+def figure_series(
+    table: ResultTable,
+    query: str,
+    x_axis: str = "dataset_size",
+    ceiling: float | None = None,
+) -> dict[str, list[tuple[object, float | None]]]:
+    """Build "time vs x per engine" series for one query (Figures 1, 3, 5).
+
+    Args:
+        table: the results to plot.
+        query: the query to select.
+        x_axis: ``"dataset_size"`` or ``"n_nodes"``.
+        ceiling: value used for infinite (timeout / memory) results; defaults
+            to 1.2× the largest finite time in the selection.
+
+    Returns:
+        Mapping of engine → list of ``(x, seconds-or-None)`` points, where
+        ``None`` marks configurations that do not support the query.
+    """
+    selected = table.filter(query=query)
+    if ceiling is None:
+        finite = [r.total_seconds for r in selected if not r.status.is_infinite]
+        ceiling = 1.2 * max(finite, default=1.0)
+    if x_axis == "dataset_size":
+        x_values = selected.sizes()
+    elif x_axis == "n_nodes":
+        x_values = selected.node_counts()
+    else:
+        raise ValueError("x_axis must be 'dataset_size' or 'n_nodes'")
+
+    series: dict[str, list[tuple[object, float | None]]] = {}
+    for engine in selected.engines():
+        points = []
+        for x in x_values:
+            criteria = {"dataset_size": x} if x_axis == "dataset_size" else {"n_nodes": x}
+            matches = selected.filter(engine=engine, **criteria).results
+            match = matches[0] if matches else None
+            if match is not None and match.status is RunStatus.UNSUPPORTED:
+                points.append((x, None))
+            else:
+                points.append((x, _value_or_ceiling(match, ceiling)))
+        series[engine] = points
+    return series
+
+
+def breakdown_series(
+    table: ResultTable,
+    query: str,
+    x_axis: str = "dataset_size",
+) -> dict[str, dict[str, list[tuple[object, float]]]]:
+    """Data-management vs analytics series for one query (Figures 2 and 4)."""
+    selected = table.filter(query=query)
+    x_values = selected.sizes() if x_axis == "dataset_size" else selected.node_counts()
+    result: dict[str, dict[str, list[tuple[object, float]]]] = {}
+    for engine in selected.engines():
+        dm_points: list[tuple[object, float]] = []
+        an_points: list[tuple[object, float]] = []
+        for x in x_values:
+            criteria = {"dataset_size": x} if x_axis == "dataset_size" else {"n_nodes": x}
+            matches = selected.filter(engine=engine, **criteria).results
+            if not matches:
+                continue
+            match = matches[0]
+            dm_points.append((x, match.data_management_seconds))
+            an_points.append((x, match.analytics_seconds))
+        result[engine] = {"data_management": dm_points, "analytics": an_points}
+    return result
+
+
+def speedup_table(
+    baseline: ResultTable,
+    accelerated: ResultTable,
+    queries: Sequence[str] = ("covariance", "svd", "statistics", "biclustering"),
+    phase: str = "analytics",
+) -> dict[str, dict[int, float]]:
+    """Compute the Table 1 style speedups of the accelerated configuration.
+
+    Args:
+        baseline: results from the Xeon (non-accelerated) configuration.
+        accelerated: results from the coprocessor configuration.
+        queries: queries to report (Table 1 rows).
+        phase: ``"analytics"`` (the paper's Table 1) or ``"total"``.
+
+    Returns:
+        Mapping query → {n_nodes → speedup}; missing pairs are omitted.
+    """
+    speedups: dict[str, dict[int, float]] = {}
+    for query in queries:
+        per_nodes: dict[int, float] = {}
+        for n_nodes in sorted({r.n_nodes for r in baseline.filter(query=query)}):
+            base = baseline.filter(query=query, n_nodes=n_nodes).results
+            fast = accelerated.filter(query=query, n_nodes=n_nodes).results
+            if not base or not fast:
+                continue
+            if base[0].status.is_infinite or fast[0].status.is_infinite:
+                continue
+            if phase == "analytics":
+                base_value = base[0].analytics_seconds
+                fast_value = fast[0].analytics_seconds
+            else:
+                base_value = base[0].total_seconds
+                fast_value = fast[0].total_seconds
+            if fast_value <= 0:
+                continue
+            per_nodes[n_nodes] = base_value / fast_value
+        if per_nodes:
+            speedups[query] = per_nodes
+    return speedups
+
+
+def render_speedup_table(speedups: dict[str, dict[int, float]]) -> str:
+    """Render a Table-1-shaped ASCII table from :func:`speedup_table` output."""
+    node_counts = sorted({n for per in speedups.values() for n in per})
+    header = ["Benchmark"] + [f"{n} node{'s' if n > 1 else ''}" for n in node_counts]
+    widths = [max(len(header[0]), *(len(q) for q in speedups))] + [
+        max(len(h), 6) for h in header[1:]
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for query, per_nodes in speedups.items():
+        row = [query.ljust(widths[0])]
+        for n, width in zip(node_counts, widths[1:]):
+            value = per_nodes.get(n)
+            row.append((f"{value:.2f}" if value is not None else "-").ljust(width))
+        lines.append("  ".join(row))
+    return "\n".join(lines)

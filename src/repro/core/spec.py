@@ -1,0 +1,119 @@
+"""Query names and parameters for the GenBase benchmark.
+
+The five queries (paper Section 3.2) and their tunable parameters.  The
+paper fixes example values ("function < 250", "top 10%", "male patients
+less than 40 years old", "0.25% of patients", "50 largest eigenvalues");
+:func:`default_parameters` derives equivalent values from a dataset's size
+spec so the same *selectivities* hold at reproduction scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datagen.sizes import SizeSpec
+
+#: Canonical query names, in the order the paper presents them.
+QUERY_NAMES: tuple[str, ...] = (
+    "regression",     # Q1: predictive modelling (drug response ~ expression)
+    "covariance",     # Q2: gene-gene covariance + threshold + metadata join
+    "biclustering",   # Q3: bicluster the filtered expression matrix
+    "svd",            # Q4: Lanczos truncated SVD
+    "statistics",     # Q5: GO-term enrichment via Wilcoxon rank-sum
+)
+
+
+@dataclass(frozen=True)
+class QueryParameters:
+    """All tunable knobs of the five queries.
+
+    Attributes:
+        gene_function_fraction: Q1/Q4 select genes with
+            ``function < gene_function_fraction * n_functions``.
+        covariance_diseases: Q2 selects patients whose ``disease_id`` is in
+            this set (the paper's "patients with some disease, e.g. cancer").
+        covariance_top_fraction: Q2 keeps this fraction of gene pairs.
+        bicluster_max_age: Q3 selects patients younger than this.
+        bicluster_gender: Q3 selects patients with this gender code (1=male).
+        n_biclusters: Q3 number of biclusters to extract.
+        svd_rank: Q4 number of singular values/vectors (the paper uses 50).
+        statistics_sample_fraction: Q5 fraction of patients sampled
+            (the paper uses 0.25% at full scale).
+        statistics_alpha: Q5 significance level for the enrichment report.
+        seed: seed for any data-dependent sampling inside a query.
+    """
+
+    gene_function_fraction: float = 0.25
+    covariance_diseases: frozenset[int] = frozenset({1, 2, 3, 4, 5, 6, 7})
+    covariance_top_fraction: float = 0.10
+    bicluster_max_age: int = 40
+    bicluster_gender: int = 1
+    n_biclusters: int = 3
+    svd_rank: int = 50
+    statistics_sample_fraction: float = 0.0025
+    statistics_alpha: float = 0.05
+    seed: int = 0
+
+    def function_threshold(self, spec: SizeSpec) -> int:
+        """The absolute gene-function threshold for Q1/Q4 on this dataset."""
+        return max(1, int(round(self.gene_function_fraction * spec.n_functions)))
+
+    def svd_k(self, spec: SizeSpec) -> int:
+        """The SVD rank, clipped to what the dataset can support."""
+        return max(1, min(self.svd_rank, spec.n_genes, spec.n_patients))
+
+    def sample_fraction(self, spec: SizeSpec) -> float:
+        """The Q5 patient sample fraction, floored so at least 3 patients survive."""
+        minimum = min(1.0, 3.0 / max(spec.n_patients, 1))
+        return max(self.statistics_sample_fraction, minimum)
+
+
+def default_parameters(spec: SizeSpec, seed: int = 0) -> QueryParameters:
+    """Build parameters matching the paper's selectivities for ``spec``.
+
+    At the paper's scale 0.25% of 40,000 patients is 100 samples; at
+    reproduction scale the same fraction would leave almost nothing, so the
+    sample fraction is raised to keep ≳20 patients while never exceeding
+    20% of the dataset.
+    """
+    sample_fraction = min(0.2, max(0.0025, 20.0 / max(spec.n_patients, 1)))
+    svd_rank = max(5, min(50, spec.n_genes // 4, spec.n_patients // 4))
+    n_covariance_diseases = max(1, spec.n_diseases // 3)
+    return QueryParameters(
+        gene_function_fraction=0.25,
+        covariance_diseases=frozenset(range(1, n_covariance_diseases + 1)),
+        covariance_top_fraction=0.10,
+        bicluster_max_age=40,
+        bicluster_gender=1,
+        n_biclusters=min(3, max(1, spec.n_biclusters)),
+        svd_rank=svd_rank,
+        statistics_sample_fraction=sample_fraction,
+        statistics_alpha=0.05,
+        seed=seed,
+    )
+
+
+def validate_query_name(name: str) -> str:
+    """Normalise and validate a query name.
+
+    Accepts the canonical names plus the aliases used in the paper's figure
+    captions ("linear regression", "statistics test", "wilcoxon").
+    """
+    aliases = {
+        "linear regression": "regression",
+        "linear_regression": "regression",
+        "q1": "regression",
+        "q2": "covariance",
+        "q3": "biclustering",
+        "q4": "svd",
+        "q5": "statistics",
+        "wilcoxon": "statistics",
+        "enrichment": "statistics",
+        "stats": "statistics",
+    }
+    normalised = aliases.get(name.strip().lower(), name.strip().lower())
+    if normalised not in QUERY_NAMES:
+        raise ValueError(
+            f"unknown query {name!r}; expected one of {list(QUERY_NAMES)}"
+        )
+    return normalised

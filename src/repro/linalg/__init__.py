@@ -1,0 +1,60 @@
+"""Numerical kernels for the GenBase analytics.
+
+Every benchmark query's analytics step is backed by a kernel in this package.
+Each kernel exists in (at least) two tiers, mirroring the performance spread
+the paper observes between systems:
+
+* **BLAS tier** (:mod:`repro.linalg.blas` and the default implementations
+  here) — vectorised numpy/LAPACK-backed code, standing in for
+  R/BLAS/ScaLAPACK/MKL.
+* **Naive tier** (:mod:`repro.linalg.naive`) — deliberately loop-based,
+  interpreter-bound implementations, standing in for Mahout-style code that
+  "does not benefit from a sophisticated linear algebra package" and for
+  analytics simulated in SQL/plpython.
+
+Kernels:
+
+* :func:`repro.linalg.qr.householder_qr`, :func:`repro.linalg.qr.lstsq_qr`,
+  :func:`repro.linalg.qr.linear_regression` — Q1 (predictive modelling).
+* :func:`repro.linalg.covariance.covariance_matrix` — Q2.
+* :func:`repro.linalg.biclustering.cheng_church` — Q3.
+* :func:`repro.linalg.lanczos.lanczos_svd` — Q4.
+* :func:`repro.linalg.wilcoxon.rank_sum_test`,
+  :func:`repro.linalg.wilcoxon.enrichment_analysis` — Q5.
+"""
+
+from repro.linalg.qr import (
+    householder_qr,
+    lstsq_qr,
+    linear_regression,
+    RegressionResult,
+)
+from repro.linalg.covariance import covariance_matrix, correlation_matrix, top_covariant_pairs
+from repro.linalg.lanczos import lanczos_svd, lanczos_eigsh, LanczosResult
+from repro.linalg.biclustering import cheng_church, Bicluster, BiclusteringResult
+from repro.linalg.wilcoxon import (
+    rank_sum_test,
+    enrichment_analysis,
+    WilcoxonResult,
+    EnrichmentResult,
+)
+
+__all__ = [
+    "householder_qr",
+    "lstsq_qr",
+    "linear_regression",
+    "RegressionResult",
+    "covariance_matrix",
+    "correlation_matrix",
+    "top_covariant_pairs",
+    "lanczos_svd",
+    "lanczos_eigsh",
+    "LanczosResult",
+    "cheng_church",
+    "Bicluster",
+    "BiclusteringResult",
+    "rank_sum_test",
+    "enrichment_analysis",
+    "WilcoxonResult",
+    "EnrichmentResult",
+]

@@ -1,0 +1,275 @@
+"""Cheng–Church biclustering (GenBase Query 3).
+
+Query 3 clusters rows (patients) and columns (genes) of the expression
+matrix simultaneously to find sub-matrices with similar patterns (paper
+Section 3.2.3) — e.g. a block of patients and genes that are jointly
+under-expressed.
+
+The paper does not pin a specific algorithm, so we implement the classic
+Cheng & Church (2000) δ-bicluster procedure: repeatedly find a sub-matrix
+whose *mean squared residue* (MSR) is below a threshold δ by greedy node
+deletion, then grow it back with node addition, mask the found bicluster
+with noise and repeat.  This is the algorithm most biclustering packages
+(including the R ``biclust`` package the original GenBase scripts use)
+implement as their reference method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Bicluster:
+    """One discovered bicluster.
+
+    Attributes:
+        rows: indices of the member rows (patients).
+        columns: indices of the member columns (genes).
+        msr: the mean squared residue of the final block.
+    """
+
+    rows: np.ndarray
+    columns: np.ndarray
+    msr: float
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.rows), len(self.columns))
+
+    def submatrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Extract this bicluster's block from the original matrix."""
+        return matrix[np.ix_(self.rows, self.columns)]
+
+
+@dataclass
+class BiclusteringResult:
+    """All biclusters found in one run."""
+
+    biclusters: list[Bicluster] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.biclusters)
+
+    def __iter__(self):
+        return iter(self.biclusters)
+
+    def membership_matrix(self, shape: tuple[int, int]) -> np.ndarray:
+        """Return an int matrix labelling each cell with a bicluster id (+1).
+
+        Cells not covered by any bicluster are 0; overlapping cells keep the
+        label of the earliest (largest) bicluster.
+        """
+        labels = np.zeros(shape, dtype=np.int32)
+        for index, bicluster in enumerate(reversed(self.biclusters)):
+            value = len(self.biclusters) - index
+            labels[np.ix_(bicluster.rows, bicluster.columns)] = value
+        return labels
+
+
+def mean_squared_residue(block: np.ndarray) -> float:
+    """Compute the Cheng–Church mean squared residue of a matrix block.
+
+    The residue of cell (i, j) is
+    ``a_ij - row_mean_i - col_mean_j + block_mean``; the MSR is the mean of
+    its square.  An MSR of 0 means the block is perfectly "additive"
+    (all rows shift by a constant relative to each other).
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.size == 0:
+        return 0.0
+    row_means = block.mean(axis=1, keepdims=True)
+    col_means = block.mean(axis=0, keepdims=True)
+    overall = block.mean()
+    residue = block - row_means - col_means + overall
+    return float(np.mean(residue ** 2))
+
+
+def _row_col_residues(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row and per-column mean squared residue contributions."""
+    row_means = block.mean(axis=1, keepdims=True)
+    col_means = block.mean(axis=0, keepdims=True)
+    overall = block.mean()
+    residue = (block - row_means - col_means + overall) ** 2
+    return residue.mean(axis=1), residue.mean(axis=0)
+
+
+def _single_node_deletion(
+    matrix: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    delta: float,
+    min_rows: int,
+    min_cols: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedily delete the worst row/column until the MSR drops below delta."""
+    rows = rows.copy()
+    cols = cols.copy()
+    while len(rows) > min_rows and len(cols) > min_cols:
+        block = matrix[np.ix_(rows, cols)]
+        if mean_squared_residue(block) <= delta:
+            break
+        row_res, col_res = _row_col_residues(block)
+        worst_row = int(np.argmax(row_res))
+        worst_col = int(np.argmax(col_res))
+        if row_res[worst_row] >= col_res[worst_col] and len(rows) > min_rows:
+            rows = np.delete(rows, worst_row)
+        elif len(cols) > min_cols:
+            cols = np.delete(cols, worst_col)
+        else:
+            rows = np.delete(rows, worst_row)
+    return rows, cols
+
+
+def _multiple_node_deletion(
+    matrix: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    delta: float,
+    alpha: float,
+    min_rows: int,
+    min_cols: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Delete all rows/columns whose residue exceeds ``alpha * MSR`` at once.
+
+    This is the speed-up phase Cheng & Church use for large matrices; it
+    converges much faster than single deletion and the benchmark matrices
+    are large enough for it to matter.
+    """
+    rows = rows.copy()
+    cols = cols.copy()
+    changed = True
+    while changed and len(rows) > min_rows and len(cols) > min_cols:
+        changed = False
+        block = matrix[np.ix_(rows, cols)]
+        msr = mean_squared_residue(block)
+        if msr <= delta:
+            break
+        row_res, col_res = _row_col_residues(block)
+        keep_rows = row_res <= alpha * msr
+        if keep_rows.sum() >= min_rows and not keep_rows.all():
+            rows = rows[keep_rows]
+            changed = True
+        block = matrix[np.ix_(rows, cols)]
+        msr = mean_squared_residue(block)
+        if msr <= delta:
+            break
+        _, col_res = _row_col_residues(block)
+        keep_cols = col_res <= alpha * msr
+        if keep_cols.sum() >= min_cols and not keep_cols.all():
+            cols = cols[keep_cols]
+            changed = True
+    return rows, cols
+
+
+def _node_addition(
+    matrix: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Add back rows/columns whose residue is below the block MSR."""
+    all_rows = np.arange(matrix.shape[0])
+    all_cols = np.arange(matrix.shape[1])
+
+    block = matrix[np.ix_(rows, cols)]
+    msr = mean_squared_residue(block)
+
+    # Column addition.
+    col_candidates = np.setdiff1d(all_cols, cols, assume_unique=False)
+    if len(col_candidates):
+        sub = matrix[np.ix_(rows, col_candidates)]
+        row_means = matrix[np.ix_(rows, cols)].mean(axis=1, keepdims=True)
+        col_means = sub.mean(axis=0, keepdims=True)
+        overall = matrix[np.ix_(rows, cols)].mean()
+        residues = ((sub - row_means - col_means + overall) ** 2).mean(axis=0)
+        additions = col_candidates[residues <= msr]
+        if len(additions):
+            cols = np.sort(np.concatenate([cols, additions]))
+
+    block = matrix[np.ix_(rows, cols)]
+    msr = mean_squared_residue(block)
+
+    # Row addition.
+    row_candidates = np.setdiff1d(all_rows, rows, assume_unique=False)
+    if len(row_candidates):
+        sub = matrix[np.ix_(row_candidates, cols)]
+        col_means = matrix[np.ix_(rows, cols)].mean(axis=0, keepdims=True)
+        row_means = sub.mean(axis=1, keepdims=True)
+        overall = matrix[np.ix_(rows, cols)].mean()
+        residues = ((sub - row_means - col_means + overall) ** 2).mean(axis=1)
+        additions = row_candidates[residues <= msr]
+        if len(additions):
+            rows = np.sort(np.concatenate([rows, additions]))
+
+    return rows, cols
+
+
+def cheng_church(
+    matrix: np.ndarray,
+    n_biclusters: int = 3,
+    delta: float | None = None,
+    alpha: float = 1.2,
+    min_rows: int = 2,
+    min_cols: int = 2,
+    seed: int = 0,
+) -> BiclusteringResult:
+    """Run the Cheng–Church δ-biclustering algorithm.
+
+    Args:
+        matrix: ``(n_rows, n_cols)`` expression (sub-)matrix.
+        n_biclusters: how many biclusters to extract.
+        delta: MSR threshold; defaults to 10% of the whole-matrix MSR, which
+            adapts the threshold to the data's noise level.
+        alpha: multiple-node-deletion aggressiveness (>1).
+        min_rows: smallest number of rows a bicluster may shrink to.
+        min_cols: smallest number of columns a bicluster may shrink to.
+        seed: seed for the noise used to mask found biclusters.
+
+    Returns:
+        A :class:`BiclusteringResult`; biclusters are returned in discovery
+        order and each has at least ``min_rows`` × ``min_cols`` cells.
+    """
+    working = np.array(matrix, dtype=np.float64, copy=True)
+    if working.ndim != 2:
+        raise ValueError("cheng_church expects a 2-D matrix")
+    n_rows, n_cols = working.shape
+    if n_rows < min_rows or n_cols < min_cols:
+        return BiclusteringResult(biclusters=[])
+    if alpha <= 1.0:
+        raise ValueError("alpha must be greater than 1")
+
+    rng = np.random.default_rng(seed)
+    if delta is None:
+        delta = 0.1 * mean_squared_residue(working)
+        if delta <= 0:
+            delta = 1e-12
+
+    value_min = float(working.min())
+    value_max = float(working.max())
+    if value_max <= value_min:
+        value_max = value_min + 1.0
+
+    result = BiclusteringResult()
+    for _ in range(n_biclusters):
+        rows = np.arange(n_rows)
+        cols = np.arange(n_cols)
+        rows, cols = _multiple_node_deletion(
+            working, rows, cols, delta=delta, alpha=alpha,
+            min_rows=min_rows, min_cols=min_cols,
+        )
+        rows, cols = _single_node_deletion(
+            working, rows, cols, delta=delta, min_rows=min_rows, min_cols=min_cols,
+        )
+        rows, cols = _node_addition(working, rows, cols)
+        block = working[np.ix_(rows, cols)]
+        result.biclusters.append(
+            Bicluster(rows=rows.copy(), columns=cols.copy(), msr=mean_squared_residue(block))
+        )
+        # Mask the discovered bicluster with uniform noise so later rounds
+        # find different structure (the standard Cheng–Church masking step).
+        noise = rng.uniform(value_min, value_max, size=block.shape)
+        working[np.ix_(rows, cols)] = noise
+
+    return result

@@ -1,0 +1,185 @@
+"""Lanczos iteration for truncated eigen/singular value decomposition.
+
+GenBase Query 4 de-noises the expression matrix with a truncated SVD and the
+paper specifies the Lanczos algorithm — "a power method that can iteratively
+find the largest eigenvalues of symmetric positive semidefinite matrices"
+(Section 3.2.4).  The benchmark asks for the 50 largest singular values and
+their vectors.
+
+This module implements Lanczos tridiagonalisation with full
+reorthogonalisation on the symmetric operator ``AᵀA`` (or ``AAᵀ``, whichever
+is smaller), then recovers the singular triplets of ``A``.  Full
+reorthogonalisation costs extra GEMV work but keeps the Ritz values accurate
+without the ghost-eigenvalue bookkeeping of selective schemes — the right
+trade-off at benchmark matrix sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class LanczosResult:
+    """Truncated SVD result ``A ≈ U diag(s) Vᵀ``.
+
+    Attributes:
+        singular_values: top-``k`` singular values, descending.
+        left_vectors: ``(m, k)`` matrix ``U``.
+        right_vectors: ``(n, k)`` matrix ``V``.
+        iterations: number of Lanczos steps actually performed.
+    """
+
+    singular_values: np.ndarray
+    left_vectors: np.ndarray
+    right_vectors: np.ndarray
+    iterations: int
+
+    def reconstruct(self) -> np.ndarray:
+        """Return the rank-``k`` approximation ``U diag(s) Vᵀ``."""
+        return (self.left_vectors * self.singular_values) @ self.right_vectors.T
+
+
+def lanczos_eigsh(
+    operator,
+    dimension: int,
+    k: int,
+    max_iterations: int | None = None,
+    seed: int = 0,
+    tolerance: float = 1e-10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Find the ``k`` largest eigenpairs of a symmetric PSD linear operator.
+
+    Args:
+        operator: a callable ``v -> A @ v`` for a symmetric PSD matrix ``A``.
+        dimension: the dimension of the operator's domain.
+        k: number of eigenpairs wanted.
+        max_iterations: maximum Krylov dimension (default ``min(dim, 4k+20)``).
+        seed: seed for the random start vector.
+        tolerance: breakdown tolerance on the off-diagonal recurrence terms.
+
+    Returns:
+        ``(eigenvalues, eigenvectors)`` — the eigenvalues in descending order
+        and the corresponding Ritz vectors as columns.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if dimension < 1:
+        raise ValueError("operator dimension must be positive")
+    k = min(k, dimension)
+    if max_iterations is None:
+        max_iterations = min(dimension, max(2 * k + 20, 4 * k))
+    max_iterations = max(k, min(max_iterations, dimension))
+
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal(dimension)
+    q /= np.linalg.norm(q)
+
+    basis = np.zeros((max_iterations, dimension))
+    alphas = np.zeros(max_iterations)
+    betas = np.zeros(max_iterations)
+
+    basis[0] = q
+    steps = 0
+    for j in range(max_iterations):
+        w = operator(basis[j])
+        alpha = float(basis[j] @ w)
+        alphas[j] = alpha
+        w = w - alpha * basis[j]
+        if j > 0:
+            w = w - betas[j - 1] * basis[j - 1]
+        # Full reorthogonalisation against the existing Krylov basis.
+        w = w - basis[: j + 1].T @ (basis[: j + 1] @ w)
+        beta = float(np.linalg.norm(w))
+        steps = j + 1
+        if beta <= tolerance:
+            break
+        if j + 1 < max_iterations:
+            betas[j] = beta
+            basis[j + 1] = w / beta
+
+    # Eigen-decompose the small tridiagonal matrix.
+    tri = np.diag(alphas[:steps])
+    for i in range(steps - 1):
+        tri[i, i + 1] = betas[i]
+        tri[i + 1, i] = betas[i]
+    eigenvalues, eigenvectors = np.linalg.eigh(tri)
+    order = np.argsort(eigenvalues)[::-1][:k]
+    ritz_values = eigenvalues[order]
+    ritz_vectors = basis[:steps].T @ eigenvectors[:, order]
+    # Normalise the Ritz vectors (reorthogonalisation keeps them close already).
+    norms = np.linalg.norm(ritz_vectors, axis=0)
+    norms[norms == 0] = 1.0
+    ritz_vectors = ritz_vectors / norms
+    return ritz_values, ritz_vectors
+
+
+def lanczos_svd(
+    matrix: np.ndarray,
+    k: int = 50,
+    max_iterations: int | None = None,
+    seed: int = 0,
+) -> LanczosResult:
+    """Compute the top-``k`` singular triplets of ``matrix`` via Lanczos.
+
+    The Lanczos recurrence runs on whichever Gram operator (``AᵀA`` or
+    ``AAᵀ``) has the smaller dimension; the other side's singular vectors are
+    recovered by one extra multiplication with ``A``.
+
+    Args:
+        matrix: ``(m, n)`` dense matrix.
+        k: number of singular values/vectors to compute (clipped to
+            ``min(m, n)``).
+        max_iterations: Krylov dimension cap forwarded to
+            :func:`lanczos_eigsh`.
+        seed: start-vector seed.
+    """
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError("lanczos_svd expects a 2-D matrix")
+    m, n = a.shape
+    if m == 0 or n == 0:
+        raise ValueError("cannot compute the SVD of an empty matrix")
+    k = max(1, min(k, m, n))
+
+    use_gram_of_columns = n <= m  # operate on A^T A (n x n) when it is smaller
+
+    if use_gram_of_columns:
+        def operator(v: np.ndarray) -> np.ndarray:
+            return a.T @ (a @ v)
+
+        eigenvalues, right = lanczos_eigsh(
+            operator, dimension=n, k=k, max_iterations=max_iterations, seed=seed
+        )
+        singular_values = np.sqrt(np.clip(eigenvalues, 0.0, None))
+        left = a @ right
+        scale = np.where(singular_values > 0, singular_values, 1.0)
+        left = left / scale
+    else:
+        def operator(v: np.ndarray) -> np.ndarray:
+            return a @ (a.T @ v)
+
+        eigenvalues, left = lanczos_eigsh(
+            operator, dimension=m, k=k, max_iterations=max_iterations, seed=seed
+        )
+        singular_values = np.sqrt(np.clip(eigenvalues, 0.0, None))
+        right = a.T @ left
+        scale = np.where(singular_values > 0, singular_values, 1.0)
+        right = right / scale
+
+    # Normalise the derived side's vectors to unit length.
+    left_norms = np.linalg.norm(left, axis=0)
+    left_norms[left_norms == 0] = 1.0
+    left = left / left_norms
+    right_norms = np.linalg.norm(right, axis=0)
+    right_norms[right_norms == 0] = 1.0
+    right = right / right_norms
+
+    return LanczosResult(
+        singular_values=singular_values,
+        left_vectors=left,
+        right_vectors=right,
+        iterations=int(min(k, min(m, n))),
+    )

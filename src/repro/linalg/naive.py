@@ -1,0 +1,230 @@
+"""Deliberately naive (interpreter-bound) analytics kernels.
+
+The paper attributes much of Hadoop/Mahout's poor showing — and part of the
+gap between Madlib's C++ UDFs and its SQL/plpython ones — to analytics code
+that does not go through a tuned linear algebra package: "matrix operations
+are not done through a high performance linear algebra package"
+(Section 4.3) and "simulating linear algebra operations in SQL … will result
+in code that is largely interpreted" (Section 1).
+
+This module is that code path, built honestly: the kernels below are
+straightforward pure-Python loops over lists/element indexing, with no numpy
+vectorisation in the inner loops.  The Mahout-style and SQL-simulation
+engine adapters call these, so the orders-of-magnitude gap measured by the
+benchmark is produced by real interpreted execution rather than a fudge
+factor.
+
+The functions intentionally mirror the signatures of their fast counterparts
+in the rest of :mod:`repro.linalg` so engines can swap tiers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def matmul(a, b) -> list[list[float]]:
+    """Triple-loop matrix multiply over Python lists."""
+    a = [list(map(float, row)) for row in np.asarray(a)]
+    b = [list(map(float, row)) for row in np.asarray(b)]
+    if not a or not b:
+        return []
+    inner = len(b)
+    if len(a[0]) != inner:
+        raise ValueError("inner dimensions do not match")
+    n_cols = len(b[0])
+    result = [[0.0] * n_cols for _ in range(len(a))]
+    for i, row in enumerate(a):
+        out_row = result[i]
+        for k in range(inner):
+            a_ik = row[k]
+            if a_ik == 0.0:
+                continue
+            b_row = b[k]
+            for j in range(n_cols):
+                out_row[j] += a_ik * b_row[j]
+    return result
+
+
+def transpose(a) -> list[list[float]]:
+    """Transpose a list-of-lists matrix."""
+    a = [list(map(float, row)) for row in np.asarray(a)]
+    if not a:
+        return []
+    return [[a[i][j] for i in range(len(a))] for j in range(len(a[0]))]
+
+
+def covariance_matrix(matrix) -> np.ndarray:
+    """Per-pair covariance computed with explicit loops (no GEMM).
+
+    Matches :func:`repro.linalg.covariance.covariance_matrix` with
+    ``ddof=1`` but runs in O(samples x genes^2) interpreted Python.
+    """
+    data = np.asarray(matrix, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("covariance_matrix expects a 2-D matrix")
+    n_samples, n_features = data.shape
+    if n_samples < 2:
+        raise ValueError("need at least two samples for covariance with ddof=1")
+    columns = [list(data[:, j]) for j in range(n_features)]
+    means = [sum(col) / n_samples for col in columns]
+    centered = [
+        [value - means[j] for value in columns[j]] for j in range(n_features)
+    ]
+    cov = np.zeros((n_features, n_features), dtype=np.float64)
+    for i in range(n_features):
+        col_i = centered[i]
+        for j in range(i, n_features):
+            col_j = centered[j]
+            total = 0.0
+            for k in range(n_samples):
+                total += col_i[k] * col_j[k]
+            value = total / (n_samples - 1)
+            cov[i, j] = value
+            cov[j, i] = value
+    return cov
+
+
+def _gaussian_solve(a: list[list[float]], b: list[float]) -> list[float]:
+    """Solve a dense linear system with partial-pivot Gaussian elimination."""
+    n = len(a)
+    # Augmented matrix, copied.
+    aug = [list(a[i]) + [b[i]] for i in range(n)]
+    for col in range(n):
+        # Partial pivoting.
+        pivot_row = max(range(col, n), key=lambda r: abs(aug[r][col]))
+        if abs(aug[pivot_row][col]) < 1e-12:
+            continue
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        for row in range(col + 1, n):
+            factor = aug[row][col] / pivot
+            if factor == 0.0:
+                continue
+            for k in range(col, n + 1):
+                aug[row][k] -= factor * aug[col][k]
+    x = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        pivot = aug[row][row]
+        if abs(pivot) < 1e-12:
+            x[row] = 0.0
+            continue
+        total = aug[row][n]
+        for k in range(row + 1, n):
+            total -= aug[row][k] * x[k]
+        x[row] = total / pivot
+    return x
+
+
+def linear_regression(features, target, fit_intercept: bool = True) -> np.ndarray:
+    """OLS via normal equations solved with Gaussian elimination, all loops.
+
+    Returns the coefficient vector (intercept first when requested), matching
+    what the Mahout-style engines need for Query 1.
+    """
+    x = np.asarray(features, dtype=np.float64)
+    y = list(np.asarray(target, dtype=np.float64).ravel())
+    if x.ndim == 1:
+        x = x.reshape(-1, 1)
+    rows = [list(map(float, row)) for row in x]
+    if fit_intercept:
+        rows = [[1.0] + row for row in rows]
+    n_features = len(rows[0]) if rows else 0
+    # Normal equations X^T X beta = X^T y with explicit loops.
+    xtx = [[0.0] * n_features for _ in range(n_features)]
+    xty = [0.0] * n_features
+    for row, y_value in zip(rows, y):
+        for i in range(n_features):
+            r_i = row[i]
+            xty[i] += r_i * y_value
+            for j in range(i, n_features):
+                xtx[i][j] += r_i * row[j]
+    for i in range(n_features):
+        for j in range(i + 1, n_features):
+            xtx[j][i] = xtx[i][j]
+    beta = _gaussian_solve(xtx, xty)
+    return np.asarray(beta, dtype=np.float64)
+
+
+def power_iteration_svd(matrix, k: int, n_iterations: int = 30, seed: int = 0) -> np.ndarray:
+    """Top-``k`` singular values via repeated power iteration with deflation.
+
+    This is the kind of simple iterative method a MapReduce analytics layer
+    implements; it converges slowly and touches the matrix many times.
+    Only the singular values are returned (that is all the benchmark's
+    correctness checks need from this tier).
+    """
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError("power_iteration_svd expects a 2-D matrix")
+    m, n = a.shape
+    k = max(1, min(k, m, n))
+    rng = np.random.default_rng(seed)
+    # Work on the Gram matrix as nested lists to stay interpreter-bound.
+    gram = matmul(transpose(a), a) if n <= m else matmul(a, transpose(a))
+    dim = len(gram)
+    singular_values = []
+    for _ in range(k):
+        vector = list(rng.standard_normal(dim))
+        eigenvalue = 0.0
+        for _ in range(n_iterations):
+            next_vector = [0.0] * dim
+            for i in range(dim):
+                row = gram[i]
+                total = 0.0
+                for j in range(dim):
+                    total += row[j] * vector[j]
+                next_vector[i] = total
+            norm = math.sqrt(sum(value * value for value in next_vector))
+            if norm == 0.0:
+                break
+            vector = [value / norm for value in next_vector]
+            eigenvalue = norm
+        singular_values.append(math.sqrt(max(eigenvalue, 0.0)))
+        # Deflate: gram -= eigenvalue * v v^T
+        for i in range(dim):
+            v_i = vector[i]
+            if v_i == 0.0:
+                continue
+            row = gram[i]
+            for j in range(dim):
+                row[j] -= eigenvalue * v_i * vector[j]
+    return np.asarray(singular_values, dtype=np.float64)
+
+
+def wilcoxon_rank_sum(first, second) -> float:
+    """Two-sided rank-sum p-value computed with plain Python loops."""
+    first = [float(v) for v in np.asarray(first).ravel()]
+    second = [float(v) for v in np.asarray(second).ravel()]
+    n1, n2 = len(first), len(second)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    combined = [(value, 0) for value in first] + [(value, 1) for value in second]
+    combined.sort(key=lambda pair: pair[0])
+    # Midranks with ties.
+    ranks = [0.0] * len(combined)
+    tie_correction = 0.0
+    i = 0
+    n = len(combined)
+    while i < n:
+        j = i
+        while j + 1 < n and combined[j + 1][0] == combined[i][0]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for idx in range(i, j + 1):
+            ranks[idx] = midrank
+        group = j - i + 1
+        tie_correction += group ** 3 - group
+        i = j + 1
+    rank_sum_first = sum(rank for rank, (_, label) in zip(ranks, combined) if label == 0)
+    u_statistic = rank_sum_first - n1 * (n1 + 1) / 2.0
+    mean_u = n1 * n2 / 2.0
+    variance = n1 * n2 / 12.0 * ((n + 1) - tie_correction / (n * (n - 1))) if n > 1 else 0.0
+    if variance <= 0:
+        return 1.0
+    delta = u_statistic - mean_u
+    correction = 0.5 if delta > 0 else (-0.5 if delta < 0 else 0.0)
+    z = (delta - correction) / math.sqrt(variance)
+    return min(1.0, math.erfc(abs(z) / math.sqrt(2.0)))

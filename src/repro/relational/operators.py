@@ -1,0 +1,269 @@
+"""Volcano-style physical operators for the row store.
+
+Every operator is an iterator over row tuples that exposes its output
+:class:`~repro.relational.schema.Schema`.  Operators compose into pipelines;
+blocking operators (hash join build side, sort, aggregation) materialise
+their input, streaming operators (scan, filter, project, limit) do not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.relational.expressions import Expression
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.relational.table import HeapTable
+
+
+class Operator:
+    """Base class: an iterable of row tuples with a known output schema."""
+
+    output_schema: Schema
+
+    def __iter__(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def rows(self) -> list[tuple]:
+        """Materialise the operator's full output."""
+        return list(self)
+
+
+class SeqScan(Operator):
+    """Sequential scan of a heap table."""
+
+    def __init__(self, table: HeapTable):
+        self.table = table
+        self.output_schema = table.schema
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.table.scan()
+
+
+class RowSource(Operator):
+    """Adapter exposing an in-memory list of rows as an operator."""
+
+    def __init__(self, rows: Iterable[tuple], schema: Schema):
+        self._rows = list(rows)
+        self.output_schema = schema
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+
+class Filter(Operator):
+    """Row-at-a-time selection."""
+
+    def __init__(self, child: Operator, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+        self.output_schema = child.output_schema
+        self._bound = predicate.bind(child.output_schema)
+
+    def __iter__(self) -> Iterator[tuple]:
+        bound = self._bound
+        for row in self.child:
+            if bound(row):
+                yield row
+
+
+class Project(Operator):
+    """Projection to a subset (or expression list) of columns."""
+
+    def __init__(self, child: Operator, columns: Sequence[str]):
+        self.child = child
+        self.columns = list(columns)
+        self.output_schema = child.output_schema.project(self.columns)
+        self._indices = [child.output_schema.index_of(name) for name in self.columns]
+
+    def __iter__(self) -> Iterator[tuple]:
+        indices = self._indices
+        for row in self.child:
+            yield tuple(row[i] for i in indices)
+
+
+class Compute(Operator):
+    """Append a computed column evaluated from an expression."""
+
+    def __init__(self, child: Operator, name: str, expression: Expression,
+                 column_type: ColumnType = ColumnType.FLOAT):
+        self.child = child
+        self.expression = expression
+        self.output_schema = Schema(
+            list(child.output_schema.columns) + [Column(name, column_type)]
+        )
+        self._bound = expression.bind(child.output_schema)
+
+    def __iter__(self) -> Iterator[tuple]:
+        bound = self._bound
+        for row in self.child:
+            yield row + (bound(row),)
+
+
+class Limit(Operator):
+    """Stop after ``n`` rows."""
+
+    def __init__(self, child: Operator, n: int):
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self.child = child
+        self.n = n
+        self.output_schema = child.output_schema
+
+    def __iter__(self) -> Iterator[tuple]:
+        count = 0
+        for row in self.child:
+            if count >= self.n:
+                return
+            yield row
+            count += 1
+
+
+class HashJoin(Operator):
+    """Equi-join implemented as a classic build/probe hash join.
+
+    The smaller input should be the build (left) side; the planner takes
+    care of that using table row counts.
+    """
+
+    def __init__(self, build: Operator, probe: Operator,
+                 build_key: str, probe_key: str):
+        self.build = build
+        self.probe = probe
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.output_schema = build.output_schema.concat(probe.output_schema)
+        self._build_index = build.output_schema.index_of(build_key)
+        self._probe_index = probe.output_schema.index_of(probe_key)
+
+    def __iter__(self) -> Iterator[tuple]:
+        hash_table: dict[object, list[tuple]] = {}
+        build_index = self._build_index
+        for row in self.build:
+            hash_table.setdefault(row[build_index], []).append(row)
+        probe_index = self._probe_index
+        for row in self.probe:
+            matches = hash_table.get(row[probe_index])
+            if not matches:
+                continue
+            for build_row in matches:
+                yield build_row + row
+
+
+class NestedLoopJoin(Operator):
+    """Join on an arbitrary predicate (used when no equi-key is available)."""
+
+    def __init__(self, left: Operator, right: Operator, predicate: Expression):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.output_schema = left.output_schema.concat(right.output_schema)
+        self._bound = predicate.bind(self.output_schema)
+
+    def __iter__(self) -> Iterator[tuple]:
+        right_rows = list(self.right)
+        bound = self._bound
+        for left_row in self.left:
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if bound(combined):
+                    yield combined
+
+
+class Sort(Operator):
+    """Full in-memory sort on one or more key columns."""
+
+    def __init__(self, child: Operator, keys: Sequence[str], descending: bool = False):
+        self.child = child
+        self.keys = list(keys)
+        self.descending = descending
+        self.output_schema = child.output_schema
+        self._indices = [child.output_schema.index_of(k) for k in self.keys]
+
+    def __iter__(self) -> Iterator[tuple]:
+        indices = self._indices
+        rows = list(self.child)
+        rows.sort(key=lambda row: tuple(row[i] for i in indices), reverse=self.descending)
+        return iter(rows)
+
+
+#: Aggregate function name -> (initial value factory, step, finalise)
+_AGGREGATES: dict[str, tuple[Callable, Callable, Callable]] = {
+    "count": (lambda: 0, lambda acc, v: acc + 1, lambda acc: acc),
+    "sum": (lambda: 0.0, lambda acc, v: acc + v, lambda acc: acc),
+    "min": (lambda: None, lambda acc, v: v if acc is None or v < acc else acc, lambda acc: acc),
+    "max": (lambda: None, lambda acc, v: v if acc is None or v > acc else acc, lambda acc: acc),
+    "avg": (
+        lambda: (0.0, 0),
+        lambda acc, v: (acc[0] + v, acc[1] + 1),
+        lambda acc: acc[0] / acc[1] if acc[1] else None,
+    ),
+}
+
+
+class HashAggregate(Operator):
+    """Hash-based GROUP BY with the standard SQL aggregates.
+
+    Args:
+        child: input operator.
+        group_by: grouping column names (may be empty for a global aggregate).
+        aggregates: list of ``(function, column, output_name)`` triples where
+            ``function`` is one of count/sum/min/max/avg.
+    """
+
+    def __init__(self, child: Operator, group_by: Sequence[str],
+                 aggregates: Sequence[tuple[str, str, str]]):
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        for function, _, _ in self.aggregates:
+            if function not in _AGGREGATES:
+                raise ValueError(f"unknown aggregate function {function!r}")
+
+        input_schema = child.output_schema
+        self._group_indices = [input_schema.index_of(name) for name in self.group_by]
+        self._value_indices = [
+            input_schema.index_of(column) if function != "count" or column != "*" else 0
+            for function, column, _ in self.aggregates
+        ]
+
+        output_columns = [input_schema.column(name) for name in self.group_by]
+        for function, column, output_name in self.aggregates:
+            if function == "count":
+                output_columns.append(Column(output_name, ColumnType.INT))
+            else:
+                output_columns.append(Column(output_name, ColumnType.FLOAT))
+        self.output_schema = Schema(output_columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        groups: dict[tuple, list] = {}
+        specs = [(_AGGREGATES[function], value_index)
+                 for (function, _, _), value_index in zip(self.aggregates, self._value_indices)]
+        group_indices = self._group_indices
+        for row in self.child:
+            key = tuple(row[i] for i in group_indices)
+            state = groups.get(key)
+            if state is None:
+                state = [initial() for (initial, _, _), _ in specs]
+                groups[key] = state
+            for position, ((_, step, _), value_index) in enumerate(specs):
+                state[position] = step(state[position], row[value_index])
+        for key, state in groups.items():
+            finals = tuple(
+                finalise(state[position])
+                for position, ((_, _, finalise), _) in enumerate(specs)
+            )
+            yield key + finals
+
+
+class Materialize(Operator):
+    """Materialise a child operator once so it can be iterated repeatedly."""
+
+    def __init__(self, child: Operator):
+        self.child = child
+        self.output_schema = child.output_schema
+        self._cache: list[tuple] | None = None
+
+    def __iter__(self) -> Iterator[tuple]:
+        if self._cache is None:
+            self._cache = list(self.child)
+        return iter(self._cache)

@@ -1,0 +1,338 @@
+"""Logical plans and a rule-based optimizer for the row store.
+
+The planner is intentionally simple — about what the paper credits Hive with
+("rudimentary query optimization") plus the two rules that matter most for
+the GenBase queries:
+
+* **predicate pushdown** — filters referencing only one side of a join are
+  pushed below the join;
+* **build-side selection** — hash joins build on the smaller input, using
+  table cardinalities from the catalog.
+
+Logical plans are small immutable node trees; ``plan.optimize()`` applies
+the rewrite rules and ``plan.to_physical()`` produces the Volcano operators
+from :mod:`repro.relational.operators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.relational import operators as ops
+from repro.relational.expressions import Expression, and_
+from repro.relational.schema import Schema
+from repro.relational.table import HeapTable
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    def output_schema(self) -> Schema:
+        raise NotImplementedError
+
+    def to_physical(self) -> ops.Operator:
+        raise NotImplementedError
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        return ()
+
+    def estimated_rows(self) -> int:
+        """Crude cardinality estimate used for join build-side selection."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanNode(LogicalNode):
+    """Scan of a base table."""
+
+    table: HeapTable
+
+    def output_schema(self) -> Schema:
+        return self.table.schema
+
+    def to_physical(self) -> ops.Operator:
+        return ops.SeqScan(self.table)
+
+    def estimated_rows(self) -> int:
+        return self.table.row_count
+
+
+@dataclass(frozen=True)
+class FilterNode(LogicalNode):
+    """Selection."""
+
+    child: LogicalNode
+    predicate: Expression
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def to_physical(self) -> ops.Operator:
+        return ops.Filter(self.child.to_physical(), self.predicate)
+
+    def estimated_rows(self) -> int:
+        # Default textbook selectivity of 1/3 for an arbitrary predicate.
+        return max(1, self.child.estimated_rows() // 3)
+
+
+@dataclass(frozen=True)
+class ProjectNode(LogicalNode):
+    """Projection to named columns."""
+
+    child: LogicalNode
+    columns: tuple[str, ...]
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema().project(list(self.columns))
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def to_physical(self) -> ops.Operator:
+        return ops.Project(self.child.to_physical(), list(self.columns))
+
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows()
+
+
+@dataclass(frozen=True)
+class JoinNode(LogicalNode):
+    """Equi-join between two inputs."""
+
+    left: LogicalNode
+    right: LogicalNode
+    left_key: str
+    right_key: str
+
+    def output_schema(self) -> Schema:
+        return self.left.output_schema().concat(self.right.output_schema())
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def to_physical(self) -> ops.Operator:
+        # Build on the smaller side; output column order must stay
+        # (left columns, right columns), so when we build on the right we
+        # reorder the combined row accordingly via a projection.
+        left_rows = self.left.estimated_rows()
+        right_rows = self.right.estimated_rows()
+        left_physical = self.left.to_physical()
+        right_physical = self.right.to_physical()
+        if left_rows <= right_rows:
+            return ops.HashJoin(left_physical, right_physical,
+                                self.left_key, self.right_key)
+        joined = ops.HashJoin(right_physical, left_physical,
+                              self.right_key, self.left_key)
+        # Reorder columns back to (left, right) so downstream name resolution
+        # is independent of the build-side decision.
+        target_schema = self.output_schema()
+        return _ReorderToSchema(joined, target_schema)
+
+    def estimated_rows(self) -> int:
+        # Assume a foreign-key style join: output ~= the larger input.
+        return max(self.left.estimated_rows(), self.right.estimated_rows())
+
+
+class _ReorderToSchema(ops.Operator):
+    """Reorder a join output's columns to match a target schema by name."""
+
+    def __init__(self, child: ops.Operator, target: Schema):
+        self.child = child
+        self.output_schema = target
+        child_names = list(child.output_schema.names)
+        # The swapped join produces (right columns, left columns) with the
+        # same collision-suffix convention; map target names positionally.
+        self._indices = []
+        used: set[int] = set()
+        for name in target.names:
+            base = name[:-len("_right")] if name.endswith("_right") else name
+            index = None
+            for candidate in (name, base):
+                for position, child_name in enumerate(child_names):
+                    child_base = (
+                        child_name[:-len("_right")]
+                        if child_name.endswith("_right") else child_name
+                    )
+                    if position in used:
+                        continue
+                    if child_name == candidate or child_base == candidate:
+                        index = position
+                        break
+                if index is not None:
+                    break
+            if index is None:
+                raise KeyError(f"cannot map join output column {name!r}")
+            used.add(index)
+            self._indices.append(index)
+
+    def __iter__(self):
+        indices = self._indices
+        for row in self.child:
+            yield tuple(row[i] for i in indices)
+
+
+@dataclass(frozen=True)
+class AggregateNode(LogicalNode):
+    """Group-by aggregation."""
+
+    child: LogicalNode
+    group_by: tuple[str, ...]
+    aggregates: tuple[tuple[str, str, str], ...]
+
+    def output_schema(self) -> Schema:
+        return self.to_physical().output_schema
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def to_physical(self) -> ops.Operator:
+        return ops.HashAggregate(
+            self.child.to_physical(), list(self.group_by), list(self.aggregates)
+        )
+
+    def estimated_rows(self) -> int:
+        return max(1, self.child.estimated_rows() // 10)
+
+
+@dataclass(frozen=True)
+class SortNode(LogicalNode):
+    """Order-by."""
+
+    child: LogicalNode
+    keys: tuple[str, ...]
+    descending: bool = False
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def to_physical(self) -> ops.Operator:
+        return ops.Sort(self.child.to_physical(), list(self.keys), descending=self.descending)
+
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows()
+
+
+@dataclass(frozen=True)
+class LimitNode(LogicalNode):
+    """Row-count limit."""
+
+    child: LogicalNode
+    n: int
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def to_physical(self) -> ops.Operator:
+        return ops.Limit(self.child.to_physical(), self.n)
+
+    def estimated_rows(self) -> int:
+        return min(self.n, self.child.estimated_rows())
+
+
+# --------------------------------------------------------------------------- #
+# Optimizer
+# --------------------------------------------------------------------------- #
+
+def push_down_filters(node: LogicalNode) -> LogicalNode:
+    """Push filters below joins when they reference only one side."""
+    if isinstance(node, FilterNode):
+        child = push_down_filters(node.child)
+        if isinstance(child, JoinNode):
+            referenced = node.predicate.columns_referenced()
+            left_names = set(child.left.output_schema().names)
+            right_names = set(child.right.output_schema().names)
+            if referenced <= left_names:
+                return replace(
+                    child, left=push_down_filters(FilterNode(child.left, node.predicate))
+                )
+            if referenced <= right_names:
+                return replace(
+                    child, right=push_down_filters(FilterNode(child.right, node.predicate))
+                )
+        return FilterNode(child, node.predicate)
+    if isinstance(node, ProjectNode):
+        return ProjectNode(push_down_filters(node.child), node.columns)
+    if isinstance(node, JoinNode):
+        return replace(
+            node,
+            left=push_down_filters(node.left),
+            right=push_down_filters(node.right),
+        )
+    if isinstance(node, (AggregateNode, SortNode, LimitNode)):
+        return replace(node, child=push_down_filters(node.child))
+    return node
+
+
+def merge_adjacent_filters(node: LogicalNode) -> LogicalNode:
+    """Combine stacked filters into one conjunction (fewer operator hops)."""
+    if isinstance(node, FilterNode):
+        child = merge_adjacent_filters(node.child)
+        if isinstance(child, FilterNode):
+            return FilterNode(child.child, and_(child.predicate, node.predicate))
+        return FilterNode(child, node.predicate)
+    if isinstance(node, ProjectNode):
+        return ProjectNode(merge_adjacent_filters(node.child), node.columns)
+    if isinstance(node, JoinNode):
+        return replace(
+            node,
+            left=merge_adjacent_filters(node.left),
+            right=merge_adjacent_filters(node.right),
+        )
+    if isinstance(node, (AggregateNode, SortNode, LimitNode)):
+        return replace(node, child=merge_adjacent_filters(node.child))
+    return node
+
+
+def optimize(node: LogicalNode) -> LogicalNode:
+    """Apply the rewrite rules in a fixed, deterministic order."""
+    node = push_down_filters(node)
+    node = merge_adjacent_filters(node)
+    return node
+
+
+@dataclass
+class PlanExplanation:
+    """A human-readable rendering of a logical plan (``Query.explain()``)."""
+
+    lines: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines)
+
+
+def explain(node: LogicalNode, depth: int = 0,
+            explanation: PlanExplanation | None = None) -> PlanExplanation:
+    """Render a plan tree as indented text."""
+    explanation = explanation or PlanExplanation()
+    indent = "  " * depth
+    if isinstance(node, ScanNode):
+        explanation.lines.append(f"{indent}SeqScan {node.table.name} ({node.table.row_count} rows)")
+    elif isinstance(node, FilterNode):
+        explanation.lines.append(f"{indent}Filter {node.predicate!r}")
+    elif isinstance(node, ProjectNode):
+        explanation.lines.append(f"{indent}Project {list(node.columns)}")
+    elif isinstance(node, JoinNode):
+        explanation.lines.append(f"{indent}HashJoin {node.left_key} = {node.right_key}")
+    elif isinstance(node, AggregateNode):
+        explanation.lines.append(
+            f"{indent}Aggregate group_by={list(node.group_by)} aggs={list(node.aggregates)}"
+        )
+    elif isinstance(node, SortNode):
+        explanation.lines.append(f"{indent}Sort {list(node.keys)} desc={node.descending}")
+    elif isinstance(node, LimitNode):
+        explanation.lines.append(f"{indent}Limit {node.n}")
+    else:
+        explanation.lines.append(f"{indent}{type(node).__name__}")
+    for child in node.children():
+        explain(child, depth + 1, explanation)
+    return explanation

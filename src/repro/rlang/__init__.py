@@ -1,0 +1,37 @@
+"""An R-like in-memory statistics environment (the benchmark's "vanilla R").
+
+The paper's baseline configuration is plain R: everything lives in main
+memory, arrays are capped at 2³¹−1 cells, execution is single threaded, the
+``merge`` function provides a hash join, and the analytics call down into
+BLAS/LAPACK.  This package reproduces that environment:
+
+* :mod:`repro.rlang.dataframe` — a column-oriented data frame with
+  ``merge`` (hash join), ``subset``, ``order_by`` and matrix conversion,
+  plus an explicit cell limit enforced on every allocation,
+* :mod:`repro.rlang.io` — ``read_csv`` / ``write_csv``, used both for
+  loading datasets and as the copy/reformat channel the "DBMS + external R"
+  configurations pay for,
+* :mod:`repro.rlang.stats` — ``lm``, ``cov``, ``svd``, ``biclust`` and
+  ``wilcox_test`` built on the shared kernels of :mod:`repro.linalg`
+  (the BLAS tier, as in R).
+"""
+
+from repro.rlang.dataframe import DataFrame, RMemoryError, REnvironment
+from repro.rlang.io import read_csv, write_csv, dataframe_from_csv_string, dataframe_to_csv_string
+from repro.rlang.stats import lm, cov, svd, biclust, wilcox_test, enrichment
+
+__all__ = [
+    "DataFrame",
+    "REnvironment",
+    "RMemoryError",
+    "read_csv",
+    "write_csv",
+    "dataframe_from_csv_string",
+    "dataframe_to_csv_string",
+    "lm",
+    "cov",
+    "svd",
+    "biclust",
+    "wilcox_test",
+    "enrichment",
+]

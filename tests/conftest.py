@@ -1,0 +1,31 @@
+"""Shared fixtures for the GenBase reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spec import default_parameters
+from repro.datagen import GenBaseDataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> GenBaseDataset:
+    """One deterministic tiny dataset shared across the whole session."""
+    return GenBaseDataset.generate("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> GenBaseDataset:
+    """One deterministic small dataset for the heavier integration tests."""
+    return GenBaseDataset.generate("small", seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_parameters(tiny_dataset):
+    return default_parameters(tiny_dataset.spec)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

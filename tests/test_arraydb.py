@@ -1,0 +1,231 @@
+"""Tests for the chunked array DBMS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arraydb import ArraySchema, Attribute, ChunkedArray, Dimension, linalg, operators as ops
+from repro.arraydb.chunk import Chunk
+
+
+@pytest.fixture()
+def expression_array(rng) -> tuple[ChunkedArray, np.ndarray]:
+    matrix = rng.random((45, 30))
+    array = ChunkedArray.from_dense(
+        "expression", matrix, ["patient_id", "gene_id"], chunk_sizes=[16, 8]
+    )
+    return array, matrix
+
+
+class TestSchema:
+    def test_dimension_properties(self):
+        dim = Dimension("gene_id", 0, 99, 25)
+        assert dim.length == 100
+        assert dim.chunk_count == 4
+        assert dim.chunk_of(26) == 1
+        assert dim.chunk_bounds(3) == (75, 99)
+        with pytest.raises(IndexError):
+            dim.chunk_of(100)
+        with pytest.raises(IndexError):
+            dim.chunk_bounds(4)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            Dimension("x", 5, 2, 10)
+        with pytest.raises(ValueError):
+            Dimension("x", 0, 5, 0)
+
+    def test_schema_lookup_and_rename(self):
+        schema = ArraySchema(
+            "a",
+            [Dimension("i", 0, 9, 5), Dimension("j", 0, 4, 5)],
+            [Attribute("value"), Attribute("count", np.int64)],
+        )
+        assert schema.shape == (10, 5)
+        assert schema.dimension_index("j") == 1
+        assert schema.attribute("count").dtype == np.dtype(np.int64)
+        with pytest.raises(KeyError):
+            schema.dimension("k")
+        with pytest.raises(KeyError):
+            schema.attribute("missing")
+        assert schema.renamed("b").name == "b"
+        assert "value" in repr(schema)
+
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            ArraySchema("a", [], [Attribute("v")])
+        with pytest.raises(ValueError):
+            ArraySchema("a", [Dimension("i", 0, 1, 1)], [])
+        with pytest.raises(ValueError):
+            ArraySchema("a", [Dimension("i", 0, 1, 1)], [Attribute("i")])
+
+
+class TestChunkedArray:
+    def test_dense_roundtrip(self, expression_array):
+        array, matrix = expression_array
+        np.testing.assert_allclose(array.to_dense(), matrix)
+        assert array.chunk_count == 3 * 4  # ceil(45/16) x ceil(30/8)
+        assert array.cell_count == matrix.size
+        assert array.nbytes > 0
+
+    def test_chunk_shapes_and_origins(self, expression_array):
+        array, _matrix = expression_array
+        chunk = array.chunk_at((2, 3))
+        assert chunk is not None
+        assert chunk.origin == (32, 24)
+        assert chunk.shape == (13, 6)  # edge chunk is smaller
+
+    def test_attribute_cells(self, expression_array):
+        array, matrix = expression_array
+        (patients, genes), values = array.attribute_cells()
+        assert len(values) == matrix.size
+        reconstructed = np.zeros_like(matrix)
+        reconstructed[patients, genes] = values
+        np.testing.assert_allclose(reconstructed, matrix)
+
+    def test_from_dense_validation(self, rng):
+        with pytest.raises(ValueError):
+            ChunkedArray.from_dense("a", rng.random((3, 3)), ["only_one_name"])
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            Chunk(coordinates=(0,), origin=(0,), data={"a": np.ones(3), "b": np.ones(4)})
+
+    def test_masked_attribute_fill(self):
+        chunk = Chunk(coordinates=(0,), origin=(0,), data={"v": np.arange(4.0)})
+        chunk.mask = np.array([True, False, True, False])
+        np.testing.assert_array_equal(chunk.masked_attribute("v", fill=-1), [0, -1, 2, -1])
+        assert chunk.cell_count == 2
+
+
+class TestOperators:
+    def test_filter_keeps_shape_masks_cells(self, expression_array):
+        array, matrix = expression_array
+        filtered = ops.filter_attribute(array, "value", lambda v: v > 0.5)
+        assert filtered.cell_count == int((matrix > 0.5).sum())
+        dense = filtered.to_dense(fill=0.0)
+        np.testing.assert_allclose(dense[matrix > 0.5], matrix[matrix > 0.5])
+        assert np.all(dense[matrix <= 0.5] == 0.0)
+
+    def test_between_restricts_coordinates(self, expression_array):
+        array, matrix = expression_array
+        result = ops.between(array, {"patient_id": (10, 19), "gene_id": (0, 4)})
+        assert result.cell_count == 10 * 5
+        dense = result.to_dense(fill=np.nan)
+        np.testing.assert_allclose(dense[10:20, :5], matrix[10:20, :5])
+
+    def test_between_unknown_dimension(self, expression_array):
+        array, _ = expression_array
+        with pytest.raises(KeyError):
+            ops.between(array, {"bogus": (0, 1)})
+
+    def test_subarray_by_index_compacts(self, expression_array):
+        array, matrix = expression_array
+        chosen = [3, 7, 11, 29]
+        sub = ops.subarray_by_index(array, "gene_id", chosen)
+        assert sub.shape == (45, 4)
+        np.testing.assert_allclose(sub.to_dense(), matrix[:, chosen])
+
+    def test_apply_and_project(self, expression_array):
+        array, matrix = expression_array
+        applied = ops.apply(array, "doubled", lambda attrs: attrs["value"] * 2)
+        assert "doubled" in applied.schema.attribute_names
+        np.testing.assert_allclose(applied.to_dense("doubled"), matrix * 2)
+        projected = ops.project(applied, ["doubled"])
+        assert projected.schema.attribute_names == ("doubled",)
+
+    def test_aggregate_global_and_along(self, expression_array):
+        array, matrix = expression_array
+        assert ops.aggregate(array, "value", "sum") == pytest.approx(matrix.sum())
+        assert ops.aggregate(array, "value", "count") == matrix.size
+        assert ops.aggregate(array, "value", "avg") == pytest.approx(matrix.mean())
+        assert ops.aggregate(array, "value", "min") == pytest.approx(matrix.min())
+        assert ops.aggregate(array, "value", "max") == pytest.approx(matrix.max())
+        per_gene = ops.aggregate(array, "value", "avg", along="gene_id")
+        np.testing.assert_allclose(per_gene, matrix.mean(axis=0))
+        per_patient = ops.aggregate(array, "value", "max", along="patient_id")
+        np.testing.assert_allclose(per_patient, matrix.max(axis=1))
+        with pytest.raises(ValueError):
+            ops.aggregate(array, "value", "median")
+
+    def test_aggregate_respects_mask(self, expression_array):
+        array, matrix = expression_array
+        filtered = ops.filter_attribute(array, "value", lambda v: v > 0.5)
+        assert ops.aggregate(filtered, "value", "count") == int((matrix > 0.5).sum())
+
+    def test_cross_join_broadcasts_metadata(self, expression_array, rng):
+        array, matrix = expression_array
+        functions = rng.integers(0, 20, 30).astype(float)
+        metadata = ChunkedArray.from_dense(
+            "gene_function", functions, ["gene_id"], attribute_name="function", chunk_sizes=[8]
+        )
+        joined = ops.cross_join(array, metadata, "gene_id")
+        assert set(joined.schema.attribute_names) == {"value", "function"}
+        dense_function = joined.to_dense("function")
+        np.testing.assert_allclose(dense_function, np.tile(functions, (45, 1)))
+
+    def test_cross_join_requires_1d_right(self, expression_array):
+        array, _ = expression_array
+        with pytest.raises(ValueError):
+            ops.cross_join(array, array, "gene_id")
+
+    def test_redimension_builds_matrix(self, rng):
+        rows = np.repeat(np.arange(5), 4)
+        cols = np.tile(np.arange(4), 5)
+        values = rng.random(20)
+        array = ops.redimension("m", rows, cols, values,
+                                dimension_names=("patient_id", "gene_id"))
+        assert array.shape == (5, 4)
+        np.testing.assert_allclose(array.to_dense(), values.reshape(5, 4))
+
+    def test_redimension_length_check(self):
+        with pytest.raises(ValueError):
+            ops.redimension("m", np.arange(3), np.arange(2), np.arange(3))
+
+    def test_regrid_downsamples(self, expression_array):
+        array, matrix = expression_array
+        regridded = ops.regrid(array, {"patient_id": 5, "gene_id": 3}, function="avg")
+        assert regridded.shape == (9, 10)
+        # First block's average must match.
+        assert regridded.to_dense()[0, 0] == pytest.approx(matrix[:5, :3].mean())
+        with pytest.raises(ValueError):
+            ops.regrid(array, {"patient_id": 2}, function="median")
+
+
+class TestArrayLinalg:
+    def test_scalapack_roundtrip(self, expression_array):
+        array, matrix = expression_array
+        dense = linalg.to_scalapack(array)
+        np.testing.assert_allclose(dense, matrix)
+        back = linalg.from_scalapack("copy", dense, array)
+        np.testing.assert_allclose(back.to_dense(), matrix)
+
+    def test_matvec_both_directions(self, expression_array, rng):
+        array, matrix = expression_array
+        x = rng.random(30)
+        y = rng.random(45)
+        np.testing.assert_allclose(linalg.matvec(array, x), matrix @ x)
+        np.testing.assert_allclose(linalg.matvec(array, y, transpose=True), matrix.T @ y)
+        with pytest.raises(ValueError):
+            linalg.matvec(array, rng.random(7))
+
+    def test_gram_and_covariance(self, expression_array):
+        array, matrix = expression_array
+        np.testing.assert_allclose(linalg.gram_matrix(array), matrix.T @ matrix, atol=1e-9)
+        np.testing.assert_allclose(
+            linalg.covariance(array), np.cov(matrix, rowvar=False), atol=1e-9
+        )
+
+    def test_covariance_ddof_check(self, rng):
+        array = ChunkedArray.from_dense("a", rng.random((1, 4)), ["i", "j"])
+        with pytest.raises(ValueError):
+            linalg.covariance(array)
+
+    def test_lanczos_chunked_matches_lapack(self, expression_array):
+        array, matrix = expression_array
+        result = linalg.lanczos_svd_chunked(array, k=5, seed=0)
+        reference = np.linalg.svd(matrix, compute_uv=False)[:5]
+        np.testing.assert_allclose(result.singular_values, reference, atol=1e-6)
+        assert result.left_vectors.shape == (45, 5)
+        assert result.right_vectors.shape == (30, 5)

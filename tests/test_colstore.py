@@ -1,0 +1,252 @@
+"""Tests for the column-store engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.colstore import (
+    ColumnQuery,
+    ColumnStore,
+    ColumnTable,
+    ColumnVector,
+    DeltaEncoding,
+    DictionaryEncoding,
+    PlainEncoding,
+    RunLengthEncoding,
+    best_encoding,
+)
+from repro.colstore.udf import UdfHost
+
+
+class TestEncodings:
+    def test_rle_roundtrip_and_compression(self):
+        values = np.repeat(np.array([1, 2, 3, 2]), 500)
+        encoding = RunLengthEncoding()
+        encoding.encode(values)
+        np.testing.assert_array_equal(encoding.decode(), values)
+        assert encoding.run_count == 4
+        assert encoding.encoded_bytes() < values.nbytes / 10
+
+    def test_dictionary_roundtrip_and_narrow_codes(self):
+        values = np.tile(np.arange(10), 300)
+        encoding = DictionaryEncoding()
+        encoding.encode(values)
+        np.testing.assert_array_equal(encoding.decode(), values)
+        assert encoding.cardinality == 10
+        assert encoding.encoded_bytes() < values.nbytes / 4
+
+    def test_delta_roundtrip_monotone(self):
+        values = np.cumsum(np.random.default_rng(0).integers(1, 100, 1000))
+        encoding = DeltaEncoding()
+        encoding.encode(values)
+        np.testing.assert_array_equal(encoding.decode(), values)
+        assert encoding.encoded_bytes() < values.nbytes
+
+    def test_plain_roundtrip(self):
+        values = np.random.default_rng(0).random(100)
+        encoding = PlainEncoding()
+        encoding.encode(values)
+        np.testing.assert_array_equal(encoding.decode(), values)
+
+    def test_empty_columns(self):
+        for encoding in (PlainEncoding(), RunLengthEncoding(), DeltaEncoding()):
+            encoding.encode(np.empty(0, dtype=np.int64))
+            assert len(encoding.decode()) == 0
+
+    def test_best_encoding_choices(self):
+        constant = np.zeros(10_000, dtype=np.int64)
+        assert best_encoding(constant).name == "rle"
+        monotone = np.arange(10_000, dtype=np.int64)
+        assert best_encoding(monotone).name in ("delta", "rle")
+        random_floats = np.random.default_rng(0).random(10_000)
+        assert best_encoding(random_floats).name == "plain"
+
+    def test_best_encoding_roundtrips(self, rng):
+        for values in (
+            rng.integers(0, 3, 5000),
+            rng.integers(0, 100_000, 5000),
+            rng.random(2000),
+            np.repeat(rng.random(5), 1000),
+        ):
+            encoding = best_encoding(values)
+            np.testing.assert_array_equal(encoding.decode(), values)
+
+
+class TestColumnVectorAndTable:
+    def test_vector_cache_and_take(self, rng):
+        values = rng.integers(0, 5, 1000)
+        column = ColumnVector("x", values)
+        np.testing.assert_array_equal(column.values(), values)
+        np.testing.assert_array_equal(column.take(np.array([3, 7])), values[[3, 7]])
+        assert column.encoded_bytes > 0
+
+    def test_vector_validation(self, rng):
+        with pytest.raises(ValueError):
+            ColumnVector("", rng.random(5))
+        with pytest.raises(ValueError):
+            ColumnVector("x", rng.random((5, 2)))
+
+    def test_table_construction_checks(self, rng):
+        with pytest.raises(ValueError):
+            ColumnTable("t", [ColumnVector("a", rng.random(3)), ColumnVector("a", rng.random(3))])
+        with pytest.raises(ValueError):
+            ColumnTable("t", [ColumnVector("a", rng.random(3)), ColumnVector("b", rng.random(4))])
+        with pytest.raises(ValueError):
+            ColumnTable("t", [])
+
+    def test_table_from_arrays_and_rows(self, rng):
+        table = ColumnTable.from_arrays("t", {"a": np.arange(5), "b": rng.random(5)})
+        assert table.row_count == 5
+        assert table.column_names == ["a", "b"]
+        rows = table.to_rows(["a"])
+        assert rows == [(i,) for i in range(5)]
+        assert table.compressed_bytes > 0
+        assert set(table.encodings()) == {"a", "b"}
+
+    def test_gather_with_indices(self, rng):
+        table = ColumnTable.from_arrays("t", {"a": np.arange(10), "b": rng.random(10)})
+        gathered = table.gather(["a"], indices=np.array([2, 4]))
+        np.testing.assert_array_equal(gathered["a"], [2, 4])
+
+
+class TestColumnQuery:
+    @pytest.fixture()
+    def store(self, tiny_dataset) -> ColumnStore:
+        store = ColumnStore()
+        micro = tiny_dataset.microarray_relational()
+        store.create_table(
+            "microarray",
+            {
+                "gene_id": micro[:, 0].astype(np.int64),
+                "patient_id": micro[:, 1].astype(np.int64),
+                "expression_value": micro[:, 2],
+            },
+        )
+        store.create_table(
+            "genes",
+            {
+                "gene_id": tiny_dataset.genes.gene_id,
+                "function": tiny_dataset.genes.function,
+            },
+        )
+        store.create_table(
+            "patients",
+            {
+                "patient_id": tiny_dataset.patients.patient_id,
+                "disease_id": tiny_dataset.patients.disease_id,
+            },
+        )
+        return store
+
+    def test_where_narrows_selection(self, store, tiny_dataset):
+        query = store.query("genes").where("function", lambda v: v < 10)
+        expected = int(np.sum(tiny_dataset.genes.function < 10))
+        assert len(query) == expected
+
+    def test_where_in_and_chaining(self, store):
+        query = (
+            store.query("microarray")
+            .where_in("gene_id", [0, 1, 2])
+            .where("expression_value", lambda v: v > 0)
+        )
+        assert np.all(np.isin(query.column("gene_id"), [0, 1, 2]))
+
+    def test_where_predicate_shape_check(self, store):
+        with pytest.raises(ValueError):
+            store.query("genes").where("function", lambda v: np.array([True]))
+
+    def test_sample_deterministic(self, store):
+        first = store.query("patients").sample(0.2, seed=3).column("patient_id")
+        second = store.query("patients").sample(0.2, seed=3).column("patient_id")
+        np.testing.assert_array_equal(first, second)
+        with pytest.raises(ValueError):
+            store.query("patients").sample(0.0)
+
+    def test_to_matrix_and_table(self, store):
+        query = store.query("genes")
+        matrix = query.to_matrix(["gene_id", "function"])
+        assert matrix.shape == (len(query), 2)
+        table = query.to_table("genes_copy", ["gene_id"])
+        assert table.row_count == len(query)
+
+    def test_join_matches_reference(self, store, tiny_dataset):
+        threshold = 10
+        genes = store.query("genes").where("function", lambda v: v < threshold)
+        joined = genes.join(
+            store.query("microarray"),
+            "gene_id",
+            "gene_id",
+            columns={"gene_id": "gene_id"},
+            other_columns={"patient_id": "patient_id", "expression_value": "expression_value"},
+        )
+        expected_genes = int(np.sum(tiny_dataset.genes.function < threshold))
+        assert joined.row_count == expected_genes * tiny_dataset.n_patients
+
+    def test_pivot_matches_source(self, store, tiny_dataset):
+        matrix, rows, cols = store.query("microarray").pivot(
+            "patient_id", "gene_id", "expression_value"
+        )
+        np.testing.assert_allclose(matrix, tiny_dataset.expression_matrix, atol=1e-12)
+        np.testing.assert_array_equal(rows, np.arange(tiny_dataset.n_patients))
+
+    def test_group_aggregate_functions(self, store, tiny_dataset):
+        keys, means = store.query("microarray").group_aggregate(
+            "gene_id", "expression_value", "mean"
+        )
+        np.testing.assert_allclose(means, tiny_dataset.expression_matrix.mean(axis=0), atol=1e-12)
+        _, counts = store.query("microarray").group_aggregate(
+            "gene_id", "expression_value", "count"
+        )
+        assert np.all(counts == tiny_dataset.n_patients)
+        _, minimums = store.query("microarray").group_aggregate(
+            "gene_id", "expression_value", "min"
+        )
+        np.testing.assert_allclose(minimums, tiny_dataset.expression_matrix.min(axis=0), atol=1e-12)
+        with pytest.raises(ValueError):
+            store.query("microarray").group_aggregate("gene_id", "expression_value", "median")
+
+
+class TestColumnStoreCatalog:
+    def test_create_register_drop(self, rng):
+        store = ColumnStore()
+        store.create_table("t", {"x": np.arange(3)})
+        with pytest.raises(ValueError):
+            store.create_table("t", {"x": np.arange(3)})
+        other = ColumnTable.from_arrays("u", {"y": rng.random(4)})
+        store.register(other)
+        assert set(store.table_names()) == {"t", "u"}
+        store.drop_table("u")
+        with pytest.raises(KeyError):
+            store.table("u")
+        assert store.total_rows() == 3
+        assert store.total_compressed_bytes() > 0
+        assert "t" in store.describe()
+
+    def test_unknown_table_message(self):
+        with pytest.raises(KeyError, match="known tables"):
+            ColumnStore().query("missing")
+
+
+class TestUdfHost:
+    def test_marshalling_copies_are_counted(self, rng):
+        host = UdfHost()
+        matrix = rng.random((50, 4))
+        result = host.call("covariance", matrix)
+        np.testing.assert_allclose(result, np.cov(matrix, rowvar=False), atol=1e-10)
+        assert host.total_bytes_marshalled == matrix.nbytes * host.copies_per_call
+        assert host.calls[0].name == "covariance"
+
+    def test_register_additional_udf(self):
+        host = UdfHost()
+        host.register("sum", lambda m: float(np.sum(m)))
+        assert host.call("sum", np.ones(5)) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            host.register("sum", lambda m: 0.0)
+
+    def test_marshalling_does_not_mutate_input(self, rng):
+        host = UdfHost()
+        matrix = rng.random((10, 3))
+        original = matrix.copy()
+        host.call("covariance", matrix)
+        np.testing.assert_array_equal(matrix, original)

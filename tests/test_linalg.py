@@ -1,0 +1,364 @@
+"""Tests for the numerical kernels (QR, covariance, Lanczos, biclustering, Wilcoxon)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.linalg import (
+    cheng_church,
+    covariance_matrix,
+    correlation_matrix,
+    enrichment_analysis,
+    householder_qr,
+    lanczos_svd,
+    linear_regression,
+    lstsq_qr,
+    rank_sum_test,
+    top_covariant_pairs,
+)
+from repro.linalg import blas, naive
+from repro.linalg.biclustering import mean_squared_residue
+from repro.linalg.lanczos import lanczos_eigsh
+
+
+class TestHouseholderQR:
+    def test_reconstruction(self, rng):
+        matrix = rng.standard_normal((20, 8))
+        q, r = householder_qr(matrix)
+        np.testing.assert_allclose(q @ r, matrix, atol=1e-10)
+
+    def test_q_orthonormal_r_triangular(self, rng):
+        matrix = rng.standard_normal((15, 6))
+        q, r = householder_qr(matrix)
+        np.testing.assert_allclose(q.T @ q, np.eye(6), atol=1e-10)
+        np.testing.assert_allclose(r, np.triu(r))
+
+    def test_rejects_wide_matrix(self, rng):
+        with pytest.raises(ValueError):
+            householder_qr(rng.standard_normal((3, 5)))
+
+    def test_rank_deficient_matrix(self):
+        matrix = np.column_stack([np.ones(10), np.ones(10) * 2, np.arange(10)])
+        q, r = householder_qr(matrix)
+        np.testing.assert_allclose(q @ r, matrix, atol=1e-10)
+
+    def test_matches_lapack_lstsq(self, rng):
+        design = rng.standard_normal((30, 5))
+        target = rng.standard_normal(30)
+        ours, _ = lstsq_qr(design, target, method="householder")
+        reference = np.linalg.lstsq(design, target, rcond=None)[0]
+        np.testing.assert_allclose(ours, reference, atol=1e-8)
+
+    def test_underdetermined_minimum_norm(self, rng):
+        design = rng.standard_normal((4, 9))
+        target = rng.standard_normal(4)
+        for method in ("householder", "lapack"):
+            beta, _ = lstsq_qr(design, target, method=method)
+            np.testing.assert_allclose(design @ beta, target, atol=1e-8)
+            reference = np.linalg.lstsq(design, target, rcond=None)[0]
+            np.testing.assert_allclose(beta, reference, atol=1e-8)
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown QR method"):
+            lstsq_qr(rng.random((4, 2)), rng.random(4), method="cholesky")
+
+
+class TestLinearRegression:
+    def test_recovers_known_coefficients(self, rng):
+        features = rng.standard_normal((200, 4))
+        true_beta = np.array([1.5, -2.0, 0.5, 3.0])
+        target = features @ true_beta + 2.0 + 0.01 * rng.standard_normal(200)
+        for method in ("householder", "lapack"):
+            fit = linear_regression(features, target, method=method)
+            np.testing.assert_allclose(fit.coefficients, true_beta, atol=0.05)
+            assert fit.intercept == pytest.approx(2.0, abs=0.05)
+            assert fit.r_squared > 0.99
+
+    def test_no_intercept(self, rng):
+        features = rng.standard_normal((100, 3))
+        target = features @ np.array([1.0, 2.0, 3.0])
+        fit = linear_regression(features, target, fit_intercept=False)
+        assert fit.intercept == 0.0
+        np.testing.assert_allclose(fit.coefficients, [1.0, 2.0, 3.0], atol=1e-8)
+
+    def test_predict(self, rng):
+        features = rng.standard_normal((50, 2))
+        target = features @ np.array([1.0, -1.0]) + 0.5
+        fit = linear_regression(features, target)
+        np.testing.assert_allclose(fit.predict(features), target, atol=1e-8)
+
+    def test_one_dimensional_features(self, rng):
+        x = rng.standard_normal(60)
+        fit = linear_regression(x, 3 * x + 1)
+        assert fit.coefficients[0] == pytest.approx(3.0, abs=1e-8)
+
+    def test_errors(self, rng):
+        with pytest.raises(ValueError):
+            linear_regression(rng.random((5, 2)), rng.random(6))
+        with pytest.raises(ValueError):
+            linear_regression(np.empty((0, 2)), np.empty(0))
+
+    def test_naive_matches_fast(self, rng):
+        features = rng.standard_normal((40, 3))
+        target = rng.standard_normal(40)
+        fast = linear_regression(features, target)
+        slow = naive.linear_regression(features, target)
+        assert slow[0] == pytest.approx(fast.intercept, abs=1e-6)
+        np.testing.assert_allclose(slow[1:], fast.coefficients, atol=1e-6)
+
+
+class TestCovariance:
+    def test_matches_numpy(self, rng):
+        matrix = rng.standard_normal((30, 12))
+        np.testing.assert_allclose(
+            covariance_matrix(matrix), np.cov(matrix, rowvar=False), atol=1e-12
+        )
+
+    def test_symmetric_and_psd(self, rng):
+        matrix = rng.standard_normal((25, 8))
+        cov = covariance_matrix(matrix)
+        np.testing.assert_array_equal(cov, cov.T)
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert eigenvalues.min() > -1e-10
+
+    def test_errors(self, rng):
+        with pytest.raises(ValueError):
+            covariance_matrix(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            covariance_matrix(rng.random((1, 3)), ddof=1)
+        with pytest.raises(ValueError):
+            covariance_matrix(rng.random(5))
+
+    def test_correlation_bounds_and_constant_column(self, rng):
+        matrix = rng.standard_normal((40, 5))
+        matrix[:, 2] = 7.0  # zero-variance column
+        corr = correlation_matrix(matrix)
+        assert np.all(np.abs(corr) <= 1 + 1e-12)
+        assert corr[2, 2] == 0.0
+        assert np.all(corr[2, :3:2] == 0.0)
+
+    def test_naive_matches_fast(self, rng):
+        matrix = rng.standard_normal((15, 6))
+        np.testing.assert_allclose(
+            naive.covariance_matrix(matrix), covariance_matrix(matrix), atol=1e-10
+        )
+
+    def test_top_pairs_fraction_and_order(self, rng):
+        matrix = rng.standard_normal((50, 10))
+        cov = covariance_matrix(matrix)
+        gene_a, gene_b, values = top_covariant_pairs(cov, fraction=0.2)
+        assert len(gene_a) == int(np.ceil(0.2 * 45))
+        assert np.all(gene_a < gene_b)
+        assert np.all(np.diff(np.abs(values)) <= 1e-12)
+
+    def test_top_pairs_validation(self, rng):
+        cov = covariance_matrix(rng.random((10, 4)))
+        with pytest.raises(ValueError):
+            top_covariant_pairs(cov, fraction=0.0)
+        with pytest.raises(ValueError):
+            top_covariant_pairs(rng.random((3, 4)))
+        a, b, v = top_covariant_pairs(np.ones((1, 1)))
+        assert len(a) == 0
+
+
+class TestLanczos:
+    def test_matches_lapack_singular_values(self, rng):
+        matrix = rng.standard_normal((60, 40))
+        result = lanczos_svd(matrix, k=10, seed=1)
+        reference = np.linalg.svd(matrix, compute_uv=False)[:10]
+        np.testing.assert_allclose(result.singular_values, reference, atol=1e-6)
+
+    def test_singular_vectors_reconstruct(self, rng):
+        # A genuinely low-rank matrix should be reconstructed exactly.
+        left = rng.standard_normal((50, 5))
+        right = rng.standard_normal((5, 30))
+        matrix = left @ right
+        result = lanczos_svd(matrix, k=5, seed=0)
+        np.testing.assert_allclose(result.reconstruct(), matrix, atol=1e-6)
+
+    def test_orthonormal_vectors(self, rng):
+        matrix = rng.standard_normal((40, 25))
+        result = lanczos_svd(matrix, k=6, seed=0)
+        np.testing.assert_allclose(
+            result.right_vectors.T @ result.right_vectors, np.eye(6), atol=1e-6
+        )
+
+    def test_wide_matrix_uses_smaller_gram(self, rng):
+        matrix = rng.standard_normal((20, 80))
+        result = lanczos_svd(matrix, k=5, seed=0)
+        reference = np.linalg.svd(matrix, compute_uv=False)[:5]
+        np.testing.assert_allclose(result.singular_values, reference, atol=1e-6)
+
+    def test_k_clipped_to_dimensions(self, rng):
+        matrix = rng.standard_normal((6, 4))
+        result = lanczos_svd(matrix, k=50)
+        assert len(result.singular_values) == 4
+
+    def test_eigsh_on_diagonal_operator(self):
+        diagonal = np.arange(1.0, 21.0)
+        eigenvalues, vectors = lanczos_eigsh(lambda v: diagonal * v, dimension=20, k=3, seed=2)
+        np.testing.assert_allclose(eigenvalues, [20.0, 19.0, 18.0], atol=1e-8)
+        assert vectors.shape == (20, 3)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            lanczos_svd(rng.random(5), k=2)
+        with pytest.raises(ValueError):
+            lanczos_svd(np.empty((0, 4)), k=2)
+        with pytest.raises(ValueError):
+            lanczos_eigsh(lambda v: v, dimension=10, k=0)
+
+    def test_blas_truncated_svd_agrees(self, rng):
+        matrix = rng.standard_normal((30, 20))
+        _u, s, _v = blas.truncated_svd(matrix, k=5)
+        result = lanczos_svd(matrix, k=5)
+        np.testing.assert_allclose(result.singular_values, s, atol=1e-6)
+
+
+class TestBiclustering:
+    def test_msr_zero_for_additive_block(self):
+        rows = np.arange(5).reshape(-1, 1)
+        cols = np.arange(4).reshape(1, -1)
+        block = rows + cols  # perfectly additive
+        assert mean_squared_residue(block) == pytest.approx(0.0, abs=1e-12)
+
+    def test_msr_positive_for_noise(self, rng):
+        assert mean_squared_residue(rng.standard_normal((10, 10))) > 0.1
+
+    def test_finds_planted_bicluster(self, rng):
+        # High-variance background with a flat (coherent) planted block: the
+        # same shape the generator plants and Q3 looks for.
+        matrix = rng.standard_normal((60, 40)) * 4.0
+        rows = np.arange(10, 25)
+        cols = np.arange(5, 20)
+        matrix[np.ix_(rows, cols)] = 0.05 * rng.standard_normal((15, 15))
+        result = cheng_church(matrix, n_biclusters=1, delta=0.1, seed=0)
+        found = result.biclusters[0]
+        row_overlap = len(np.intersect1d(found.rows, rows)) / len(rows)
+        col_overlap = len(np.intersect1d(found.columns, cols)) / len(cols)
+        assert row_overlap >= 0.75
+        assert col_overlap >= 0.75
+        assert found.msr < mean_squared_residue(matrix)
+
+    def test_requested_number_of_biclusters(self, rng):
+        matrix = rng.standard_normal((30, 20))
+        result = cheng_church(matrix, n_biclusters=3, seed=1)
+        assert len(result) == 3
+        for bicluster in result:
+            assert bicluster.shape[0] >= 2 and bicluster.shape[1] >= 2
+
+    def test_membership_matrix_labels(self, rng):
+        matrix = rng.standard_normal((20, 15))
+        result = cheng_church(matrix, n_biclusters=2, seed=0)
+        labels = result.membership_matrix(matrix.shape)
+        assert labels.shape == matrix.shape
+        assert labels.max() <= 2
+
+    def test_small_matrix_returns_empty(self):
+        result = cheng_church(np.ones((1, 1)), n_biclusters=2)
+        assert len(result) == 0
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(ValueError):
+            cheng_church(rng.random((10, 10)), alpha=0.5)
+
+
+class TestWilcoxon:
+    def test_matches_scipy_without_ties(self, rng):
+        first = rng.standard_normal(30)
+        second = rng.standard_normal(40) + 0.5
+        ours = rank_sum_test(first, second)
+        reference = scipy_stats.mannwhitneyu(first, second, alternative="two-sided")
+        assert ours.statistic == pytest.approx(reference.statistic)
+        assert ours.p_value == pytest.approx(reference.pvalue, rel=1e-6)
+
+    def test_matches_scipy_with_ties(self, rng):
+        first = rng.integers(0, 5, size=25).astype(float)
+        second = rng.integers(0, 5, size=35).astype(float)
+        ours = rank_sum_test(first, second)
+        reference = scipy_stats.mannwhitneyu(
+            first, second, alternative="two-sided", method="asymptotic"
+        )
+        assert ours.p_value == pytest.approx(reference.pvalue, rel=1e-6)
+
+    def test_identical_samples_p_one(self):
+        result = rank_sum_test(np.ones(10), np.ones(12))
+        assert result.p_value == 1.0
+        assert result.z_score == 0.0
+
+    def test_clear_shift_is_significant(self, rng):
+        first = rng.standard_normal(50) + 3.0
+        second = rng.standard_normal(50)
+        result = rank_sum_test(first, second)
+        assert result.p_value < 1e-6
+        assert result.z_score > 0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            rank_sum_test(np.empty(0), np.ones(5))
+
+    def test_naive_matches_reference(self, rng):
+        first = rng.standard_normal(20)
+        second = rng.standard_normal(25) + 1.0
+        assert naive.wilcoxon_rank_sum(first, second) == pytest.approx(
+            rank_sum_test(first, second).p_value, rel=1e-9
+        )
+
+    def test_enrichment_finds_planted_term(self, rng):
+        n_genes, n_terms = 200, 10
+        scores = rng.standard_normal(n_genes)
+        membership = (rng.random((n_genes, n_terms)) < 0.1).astype(np.int8)
+        # Term 3's members get very high scores.
+        members = rng.choice(n_genes, size=25, replace=False)
+        membership[:, 3] = 0
+        membership[members, 3] = 1
+        scores[members] += 4.0
+        result = enrichment_analysis(scores, membership)
+        assert 3 in set(result.significant_terms().tolist())
+        assert result.p_values[3] < 0.001
+        assert result.z_scores[3] > 0
+
+    def test_enrichment_validation(self, rng):
+        with pytest.raises(ValueError):
+            enrichment_analysis(rng.random(10), rng.integers(0, 2, (11, 3)))
+        with pytest.raises(ValueError):
+            enrichment_analysis(rng.random(10), rng.integers(0, 2, (10,)))
+        with pytest.raises(ValueError):
+            enrichment_analysis(rng.random(10), rng.integers(0, 2, (10, 3)), go_ids=np.arange(2))
+
+    def test_enrichment_full_or_empty_terms_get_p_one(self, rng):
+        scores = rng.random(20)
+        membership = np.zeros((20, 2), dtype=np.int8)
+        membership[:, 1] = 1  # every gene is a member
+        result = enrichment_analysis(scores, membership)
+        np.testing.assert_array_equal(result.p_values, [1.0, 1.0])
+        assert result.as_rows()[0][3] is False
+
+
+class TestNaiveKernels:
+    def test_matmul_matches_numpy(self, rng):
+        a = rng.random((6, 4))
+        b = rng.random((4, 5))
+        np.testing.assert_allclose(naive.matmul(a, b), a @ b, atol=1e-12)
+
+    def test_matmul_dimension_check(self, rng):
+        with pytest.raises(ValueError):
+            naive.matmul(rng.random((3, 2)), rng.random((3, 2)))
+
+    def test_transpose(self, rng):
+        a = rng.random((3, 5))
+        np.testing.assert_array_equal(naive.transpose(a), a.T)
+
+    def test_power_iteration_svd(self, rng):
+        matrix = rng.random((15, 8))
+        values = naive.power_iteration_svd(matrix, k=3, n_iterations=100, seed=0)
+        reference = np.linalg.svd(matrix, compute_uv=False)[:3]
+        np.testing.assert_allclose(values, reference, rtol=1e-3)
+
+    def test_gaussian_solve_singular_system(self):
+        # A singular system should not blow up; free variables go to zero.
+        solution = naive._gaussian_solve([[1.0, 1.0], [2.0, 2.0]], [3.0, 6.0])
+        assert len(solution) == 2
+        assert np.isfinite(solution).all()

@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for the core data structures and kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.colstore.compression import (
+    DeltaEncoding,
+    DictionaryEncoding,
+    RunLengthEncoding,
+    best_encoding,
+)
+from repro.datagen.writer import matrix_from_csv_string, matrix_to_csv_string
+from repro.linalg.covariance import covariance_matrix
+from repro.linalg.qr import householder_qr, linear_regression, lstsq_qr
+from repro.linalg.lanczos import lanczos_svd
+from repro.linalg.wilcoxon import _rank_with_ties, rank_sum_test
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.relational import ColumnType
+from repro.relational.schema import Schema
+from repro.relational.storage import HeapFile
+
+# ---------------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------------- #
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def matrices(min_rows=2, max_rows=12, min_cols=1, max_cols=8):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+        ),
+        elements=finite_floats,
+    )
+
+
+int_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 200),
+    elements=st.integers(-1000, 1000),
+)
+
+
+# ---------------------------------------------------------------------------- #
+# Column encodings
+# ---------------------------------------------------------------------------- #
+
+class TestEncodingProperties:
+    @given(int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_rle_roundtrip(self, values):
+        encoding = RunLengthEncoding()
+        encoding.encode(values)
+        np.testing.assert_array_equal(encoding.decode(), values)
+
+    @given(int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_dictionary_roundtrip(self, values):
+        encoding = DictionaryEncoding()
+        encoding.encode(values)
+        np.testing.assert_array_equal(encoding.decode(), values)
+
+    @given(int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_delta_roundtrip(self, values):
+        encoding = DeltaEncoding()
+        encoding.encode(values)
+        np.testing.assert_array_equal(encoding.decode(), values)
+
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(0, 200), elements=finite_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_best_encoding_roundtrip_floats(self, values):
+        encoding = best_encoding(values)
+        np.testing.assert_array_equal(encoding.decode(), values)
+
+
+# ---------------------------------------------------------------------------- #
+# Numerical kernels
+# ---------------------------------------------------------------------------- #
+
+class TestKernelProperties:
+    @given(matrices(min_rows=3, max_rows=15, min_cols=1, max_cols=6))
+    @settings(max_examples=40, deadline=None)
+    def test_qr_reconstructs_input(self, matrix):
+        if matrix.shape[0] < matrix.shape[1]:
+            matrix = matrix.T
+        q, r = householder_qr(matrix)
+        scale = max(1.0, np.abs(matrix).max())
+        np.testing.assert_allclose(q @ r, matrix, atol=1e-8 * scale)
+
+    @given(matrices(min_rows=4, max_rows=20, min_cols=1, max_cols=5))
+    @settings(max_examples=40, deadline=None)
+    def test_lstsq_residual_orthogonal_to_columns(self, matrix):
+        # The un-pivoted Householder QR targets full-column-rank designs
+        # (which GenBase's expression matrices always are); restrict the
+        # property to reasonably conditioned full-rank inputs.
+        from hypothesis import assume
+
+        assume(np.linalg.matrix_rank(matrix) == matrix.shape[1])
+        assume(np.linalg.cond(matrix) < 1e6)
+        rng = np.random.default_rng(0)
+        target = rng.standard_normal(matrix.shape[0])
+        beta, _ = lstsq_qr(matrix, target, method="householder")
+        residual = target - matrix @ beta
+        # Normal equations: the residual is orthogonal to the column space.
+        scale = max(1.0, np.abs(matrix).max() * np.abs(target).max())
+        np.testing.assert_allclose(matrix.T @ residual, 0, atol=1e-6 * scale)
+
+    @given(matrices(min_rows=3, max_rows=20, min_cols=2, max_cols=6))
+    @settings(max_examples=40, deadline=None)
+    def test_covariance_symmetric_psd(self, matrix):
+        cov = covariance_matrix(matrix)
+        np.testing.assert_array_equal(cov, cov.T)
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert eigenvalues.min() >= -1e-6 * max(1.0, abs(eigenvalues.max()))
+
+    @given(matrices(min_rows=3, max_rows=15, min_cols=3, max_cols=10))
+    @settings(max_examples=30, deadline=None)
+    def test_lanczos_values_bounded_by_frobenius(self, matrix):
+        result = lanczos_svd(matrix, k=3, seed=1)
+        frobenius = np.linalg.norm(matrix)
+        assert np.all(result.singular_values <= frobenius + 1e-6)
+        assert np.all(result.singular_values >= -1e-9)
+        assert np.all(np.diff(result.singular_values) <= 1e-9)
+
+    @given(
+        hnp.arrays(dtype=np.float64, shape=st.integers(2, 40), elements=finite_floats),
+        hnp.arrays(dtype=np.float64, shape=st.integers(2, 40), elements=finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_sum_symmetry_and_bounds(self, first, second):
+        forward = rank_sum_test(first, second)
+        backward = rank_sum_test(second, first)
+        assert 0.0 <= forward.p_value <= 1.0
+        # Swapping the samples flips the z-score but keeps the p-value.
+        assert forward.p_value == pytest.approx(backward.p_value, abs=1e-9)
+        assert forward.z_score == pytest.approx(-backward.z_score, abs=1e-9)
+
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 60), elements=finite_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_midranks_sum_is_invariant(self, values):
+        ranks, tie_sizes = _rank_with_ties(values)
+        n = len(values)
+        assert ranks.sum() == pytest.approx(n * (n + 1) / 2)
+        assert int(tie_sizes.sum()) == n
+
+    @given(matrices(min_rows=5, max_rows=25, min_cols=1, max_cols=4))
+    @settings(max_examples=30, deadline=None)
+    def test_regression_r_squared_bounded(self, features):
+        rng = np.random.default_rng(0)
+        target = rng.standard_normal(features.shape[0])
+        fit = linear_regression(features, target)
+        assert fit.r_squared <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------- #
+# Storage and serialisation
+# ---------------------------------------------------------------------------- #
+
+class TestStorageProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-10**6, 10**6), finite_floats,
+                      st.text(max_size=20).filter(lambda s: "\x00" not in s)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_heap_file_roundtrip(self, rows):
+        schema = Schema.from_pairs(
+            [("id", ColumnType.INT), ("value", ColumnType.FLOAT), ("label", ColumnType.STRING)]
+        )
+        heap = HeapFile(schema, page_size=512)
+        for row in rows:
+            heap.insert(schema.coerce_row(row))
+        restored = list(heap.scan())
+        assert len(restored) == len(rows)
+        for (id_value, float_value, text), row in zip(rows, restored):
+            assert row[0] == id_value
+            assert row[1] == pytest.approx(float_value, nan_ok=True)
+            assert row[2] == text
+
+    @given(matrices(min_rows=1, max_rows=10, min_cols=1, max_cols=6))
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_csv_roundtrip_exact(self, matrix):
+        restored = matrix_from_csv_string(matrix_to_csv_string(matrix))
+        np.testing.assert_array_equal(restored, matrix)
+
+
+# ---------------------------------------------------------------------------- #
+# MapReduce
+# ---------------------------------------------------------------------------- #
+
+class TestMapReduceProperties:
+    @given(st.lists(st.integers(-50, 50), max_size=100), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_grouped_sum_matches_direct_sum(self, values, n_splits):
+        engine = MapReduceEngine(n_splits=n_splits)
+
+        def mapper(value):
+            yield (value % 5, value)
+
+        def reducer(key, group):
+            yield (key, sum(group))
+
+        output = dict(engine.run(MapReduceJob("sum", mapper, reducer, combiner=reducer), values))
+        expected: dict[int, int] = {}
+        for value in values:
+            expected[value % 5] = expected.get(value % 5, 0) + value
+        assert output == expected
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=80), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_split_count_never_exceeds_requested(self, values, n_splits):
+        engine = MapReduceEngine(n_splits=n_splits)
+
+        def mapper(value):
+            yield (None, value)
+
+        def reducer(key, group):
+            yield (key, len(group))
+
+        engine.run(MapReduceJob("count", mapper, reducer), values)
+        assert engine.history[-1].counters.splits <= n_splits
+        assert engine.history[-1].counters.map_input_records == len(values)
