@@ -1,0 +1,276 @@
+"""Microbenchmark: compressed execution vs the decode-everything baseline.
+
+Sweeps the column-store hot operations — filter scans, membership tests,
+the equi-join, pivot and table load — over the four encodings at a chosen
+size, timing each op twice:
+
+* **compressed** — the current fast paths (predicate pushdown onto distinct
+  values, ``searchsorted`` sort-merge join, stats-driven encoding choice),
+* **baseline** — the seed implementation each fast path replaced (full
+  decode before every predicate, an interpreted Python hash join, encoding
+  all four candidates per column), kept here verbatim so every future run
+  measures against the same yardstick.
+
+The run appends nothing and prints nothing fancy; it writes one JSON perf
+record (default ``BENCH_colstore.json`` at the repo root) so later PRs have
+a trajectory to regress against:
+
+    PYTHONPATH=src python benchmarks/bench_colstore_ops.py --size tiny
+
+This file is a script, not a pytest module — the CI smoke-runs it on the
+``tiny`` size to keep the harness from rotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.colstore.column import ColumnVector
+from repro.colstore.compression import (
+    DeltaEncoding,
+    DictionaryEncoding,
+    PlainEncoding,
+    RunLengthEncoding,
+    best_encoding,
+)
+from repro.colstore.query import merge_join_positions
+from repro.colstore.table import ColumnTable
+
+SIZES = {"tiny": 10_000, "small": 100_000, "medium": 1_000_000}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_colstore.json"
+
+
+# --------------------------------------------------------------------------- #
+# Seed baselines (what the compressed fast paths replaced)
+# --------------------------------------------------------------------------- #
+
+def baseline_filter(encoding, predicate) -> np.ndarray:
+    """Seed filter: decode the whole column, then evaluate the predicate."""
+    return np.asarray(predicate(encoding.decode()), dtype=bool)
+
+
+def baseline_isin(encoding, lookup: np.ndarray) -> np.ndarray:
+    """Seed membership test: decode, then ``np.isin`` over every row."""
+    return np.isin(encoding.decode(), lookup)
+
+
+def baseline_hash_join_positions(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The seed's interpreted dict-of-lists hash join (verbatim)."""
+    build_left = len(left_keys) <= len(right_keys)
+    build_values = left_keys if build_left else right_keys
+    probe_values = right_keys if build_left else left_keys
+
+    index: dict[object, list[int]] = {}
+    for position, key in enumerate(build_values.tolist()):
+        index.setdefault(key, []).append(position)
+
+    build_positions: list[int] = []
+    probe_positions: list[int] = []
+    for position, key in enumerate(probe_values.tolist()):
+        matches = index.get(key)
+        if not matches:
+            continue
+        for match in matches:
+            build_positions.append(match)
+            probe_positions.append(position)
+
+    if build_left:
+        return (
+            np.asarray(build_positions, dtype=np.int64),
+            np.asarray(probe_positions, dtype=np.int64),
+        )
+    return (
+        np.asarray(probe_positions, dtype=np.int64),
+        np.asarray(build_positions, dtype=np.int64),
+    )
+
+
+def baseline_best_encoding(values: np.ndarray):
+    """The seed encoding picker: fully encode all candidates, keep smallest."""
+    values = np.asarray(values)
+    candidates = [PlainEncoding()]
+    if values.size:
+        if np.issubdtype(values.dtype, np.integer) or np.issubdtype(values.dtype, np.bool_):
+            candidates.extend([RunLengthEncoding(), DictionaryEncoding(), DeltaEncoding()])
+        else:
+            candidates.append(RunLengthEncoding())
+            if len(np.unique(values[: min(len(values), 10_000)])) <= 4096:
+                candidates.append(DictionaryEncoding())
+    best = best_size = None
+    for encoding in candidates:
+        encoding.encode(values)
+        size = encoding.encoded_bytes()
+        if best is None or size < best_size:
+            best, best_size = encoding, size
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# Workload columns, one per encoding
+# --------------------------------------------------------------------------- #
+
+def workload_columns(n: int, seed: int = 7) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "rle": np.sort(rng.integers(0, 50, n)),          # sorted low-cardinality
+        "dictionary": rng.integers(0, 1_000, n),          # shuffled moderate card.
+        "delta": np.cumsum(rng.integers(1, 20, n)),       # monotone ids/positions
+        "plain": rng.random(n),                           # high-entropy floats
+    }
+
+
+def _encode_as(name: str, values: np.ndarray):
+    encoding = {
+        "rle": RunLengthEncoding,
+        "dictionary": DictionaryEncoding,
+        "delta": DeltaEncoding,
+        "plain": PlainEncoding,
+    }[name]()
+    encoding.encode(values)
+    return encoding
+
+
+def _best_of(callable_, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _entry(op: str, encoding: str, n: int, compressed_s: float,
+           baseline_s: float | None) -> dict:
+    entry = {
+        "op": op,
+        "encoding": encoding,
+        "n": n,
+        "compressed_s": round(compressed_s, 6),
+    }
+    if baseline_s is not None:
+        entry["baseline_s"] = round(baseline_s, 6)
+        entry["speedup"] = round(baseline_s / compressed_s, 2) if compressed_s else None
+    return entry
+
+
+# --------------------------------------------------------------------------- #
+# The sweep
+# --------------------------------------------------------------------------- #
+
+def run_sweep(size: str, rounds: int = 3, seed: int = 7) -> dict:
+    n = SIZES[size]
+    columns = workload_columns(n, seed=seed)
+    results: list[dict] = []
+
+    # Filter scans: predicate pushdown vs decode-then-compare.
+    thresholds = {"rle": 25, "dictionary": 500, "delta": columns["delta"][n // 2], "plain": 0.5}
+    for name, values in columns.items():
+        encoding = _encode_as(name, values)
+        threshold = thresholds[name]
+        predicate = lambda v, t=threshold: v < t
+        compressed = _best_of(lambda: encoding.filter_mask(predicate), rounds)
+        baseline = _best_of(lambda: baseline_filter(encoding, predicate), rounds)
+        np.testing.assert_array_equal(
+            encoding.filter_mask(predicate), baseline_filter(encoding, predicate)
+        )
+        results.append(_entry("filter", name, n, compressed, baseline))
+
+    # Membership tests (where_in pushdown).
+    lookups = {
+        "rle": np.arange(0, 50, 5),
+        "dictionary": np.arange(0, 1_000, 7),
+        "delta": columns["delta"][:: max(1, n // 100)],
+        "plain": columns["plain"][:: max(1, n // 100)],
+    }
+    for name, values in columns.items():
+        encoding = _encode_as(name, values)
+        lookup = lookups[name]
+        compressed = _best_of(lambda: encoding.isin(lookup), rounds)
+        baseline = _best_of(lambda: baseline_isin(encoding, lookup), rounds)
+        np.testing.assert_array_equal(encoding.isin(lookup), baseline_isin(encoding, lookup))
+        results.append(_entry("isin", name, n, compressed, baseline))
+
+    # Equi-join: n-row build side, 4n-row probe side (GenBase's genes ⋈ microarray
+    # shape).  Baseline is the seed's interpreted hash join.
+    rng = np.random.default_rng(seed + 1)
+    build_keys = rng.permutation(n).astype(np.int64)
+    probe_keys = rng.integers(0, n, 4 * n).astype(np.int64)
+    compressed = _best_of(lambda: merge_join_positions(build_keys, probe_keys), rounds)
+    baseline = _best_of(
+        lambda: baseline_hash_join_positions(build_keys, probe_keys), max(1, rounds - 1)
+    )
+    fast_left, fast_right = merge_join_positions(build_keys, probe_keys)
+    slow_left, slow_right = baseline_hash_join_positions(build_keys, probe_keys)
+    np.testing.assert_array_equal(build_keys[fast_left], build_keys[slow_left])
+    np.testing.assert_array_equal(fast_right, slow_right)
+    results.append(_entry("join", "int64-keys", n, compressed, baseline))
+
+    # Pivot (no baseline — recorded for the trajectory).
+    n_patients = max(1, int(np.sqrt(n)))
+    n_genes = max(1, n // n_patients)
+    pivot_table = ColumnTable.from_arrays(
+        "micro",
+        {
+            "patient_id": np.repeat(np.arange(n_patients), n_genes),
+            "gene_id": np.tile(np.arange(n_genes), n_patients),
+            "expression_value": rng.random(n_patients * n_genes),
+        },
+    )
+    from repro.colstore.query import ColumnQuery
+
+    query = ColumnQuery(pivot_table)
+    compressed = _best_of(
+        lambda: query.pivot("patient_id", "gene_id", "expression_value"), rounds
+    )
+    results.append(_entry("pivot", "mixed", n_patients * n_genes, compressed, None))
+
+    # Load: stats-driven encoding choice vs encode-all-candidates.
+    for name, values in columns.items():
+        compressed = _best_of(lambda: best_encoding(values), rounds)
+        baseline = _best_of(lambda: baseline_best_encoding(values), rounds)
+        assert best_encoding(values).name == baseline_best_encoding(values).name
+        results.append(_entry("load", name, n, compressed, baseline))
+
+    return {
+        "benchmark": "colstore_ops",
+        "size": size,
+        "n_rows": n,
+        "rounds": rounds,
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", choices=sorted(SIZES), default="small")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+
+    record = run_sweep(args.size, rounds=args.rounds)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"== colstore ops @ {args.size} ({record['n_rows']} rows) ==")
+    for entry in record["results"]:
+        speedup = entry.get("speedup")
+        rendered = f"  {entry['op']:6s} {entry['encoding']:12s} {entry['compressed_s']*1e3:9.3f} ms"
+        if speedup is not None:
+            rendered += f"   baseline {entry['baseline_s']*1e3:9.3f} ms   speedup {speedup:6.1f}x"
+        print(rendered)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,46 @@ row store in exactly the way the paper discusses: per-column scans are cheap,
 but GenBase's narrow tables and multi-column fetches blunt the advantage
 ("our tables are very narrow and we retrieve several columns in some of our
 tasks, a situation where column stores do not excel").
+
+DESIGN — compressed execution
+=============================
+
+Queries operate *directly on the encoded columns* wherever the encoding
+admits a fast path; a full decode happens only when a column is genuinely
+materialised (and is then cached, the buffer-pool behaviour).  The
+per-encoding fast-path matrix:
+
+===========  ==============================  ===================================
+encoding     ``take(indices)``               ``filter_mask`` / ``isin``
+===========  ==============================  ===================================
+plain        direct fancy indexing           full-column vectorised predicate
+rle          ``searchsorted`` over the       predicate on the run *values* only,
+             cumulative run ends             verdicts ``repeat``-expanded
+dictionary   gather codes, one dictionary    predicate on the *distinct* values;
+             lookup                          prefix/suffix verdicts (range
+                                             predicates on the sorted dict)
+                                             become a single code comparison,
+                                             otherwise a code gather
+delta        prefix sum over the             full decode (cached)
+             ``[min, max]`` index window
+===========  ==============================  ===================================
+
+Consequences for the query layer:
+
+* predicates handed to ``where``/``filter_mask`` must be element-wise and
+  stateless — dictionary/RLE columns evaluate them on distinct values only;
+* ``where``/``where_in`` narrow the selection vector through these pushdowns
+  without materialising the filtered column;
+* the equi-join computes aligned position arrays with no per-row Python:
+  dense integer keys take a direct-addressing (counting-sort) path, anything
+  else an ``argsort`` + ``searchsorted`` sort-merge;
+* ``best_encoding`` predicts every candidate's exact footprint from cheap
+  column statistics (run count, cardinality, delta width — see
+  ``encoding_sizes``) and builds only the winner.
+
+``benchmarks/bench_colstore_ops.py`` sweeps these paths against the
+decode-everything baselines and records the speedups in
+``BENCH_colstore.json``.
 """
 
 from repro.colstore.column import ColumnVector
@@ -27,10 +67,11 @@ from repro.colstore.compression import (
     PlainEncoding,
     RunLengthEncoding,
     best_encoding,
+    encoding_sizes,
 )
 from repro.colstore.table import ColumnTable
 from repro.colstore.catalog import ColumnStore
-from repro.colstore.query import ColumnQuery
+from repro.colstore.query import ColumnQuery, merge_join_positions
 
 __all__ = [
     "ColumnVector",
@@ -39,7 +80,9 @@ __all__ = [
     "DictionaryEncoding",
     "DeltaEncoding",
     "best_encoding",
+    "encoding_sizes",
     "ColumnTable",
     "ColumnStore",
     "ColumnQuery",
+    "merge_join_positions",
 ]

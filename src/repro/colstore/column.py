@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.colstore.compression import Encoding, PlainEncoding, best_encoding
+from repro.colstore.compression import (
+    Encoding,
+    PlainEncoding,
+    best_encoding,
+    predicate_mask,
+)
 
 
 class ColumnVector:
@@ -49,6 +54,11 @@ class ColumnVector:
     def encoded_bytes(self) -> int:
         return self._encoding.encoded_bytes()
 
+    @property
+    def supports_distinct_pushdown(self) -> bool:
+        """True when predicates evaluate on distinct values only (dict/RLE)."""
+        return self._encoding.supports_distinct_pushdown
+
     def values(self) -> np.ndarray:
         """Decode (and cache) the full column."""
         if self._cache is None:
@@ -56,12 +66,41 @@ class ColumnVector:
         return self._cache
 
     def take(self, indices: np.ndarray) -> np.ndarray:
-        """Gather the values at ``indices`` (late materialisation step)."""
-        return self.values()[indices]
+        """Gather the values at ``indices`` (late materialisation step).
+
+        Uses the encoding's compressed gather when the column has not been
+        decoded yet; once the decode cache exists, plain fancy indexing on it
+        is the cheapest path.  Encodings whose gather costs O(index span)
+        (delta's prefix-sum window) decode-and-cache instead once the span
+        covers most of the column, so repeated wide gathers pay the decode
+        only once.
+        """
+        if self._cache is not None:
+            return self._cache[np.asarray(indices)]
+        indices = np.asarray(indices)
+        if not self._encoding.cheap_random_access and indices.size:
+            low, high = int(indices.min()), int(indices.max())
+            if low < 0 or high - low + 1 >= len(self) // 2:
+                return self.values()[indices]
+        return self._encoding.take(indices)
 
     def filter_mask(self, predicate) -> np.ndarray:
-        """Apply a vectorised predicate to the whole column, returning a bool mask."""
-        return np.asarray(predicate(self.values()), dtype=bool)
+        """Full-length boolean mask for a vectorised *element-wise* predicate.
+
+        Dictionary/RLE columns evaluate the predicate on their distinct
+        values only and expand the verdicts through codes/runs — the
+        predicate therefore must not depend on the shape or order of its
+        input.
+        """
+        if self._encoding.supports_distinct_pushdown:
+            return self._encoding.filter_mask(predicate)
+        return predicate_mask(self.values(), predicate)
+
+    def isin(self, values: np.ndarray) -> np.ndarray:
+        """Full-length boolean membership mask, pushed down the encoding."""
+        if self._encoding.supports_distinct_pushdown:
+            return self._encoding.isin(values)
+        return np.isin(self.values(), values)
 
     def appended(self, values: np.ndarray) -> "ColumnVector":
         """Return a new column with ``values`` appended (columns are immutable)."""

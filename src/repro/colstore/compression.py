@@ -10,6 +10,23 @@ high-entropy float columns) emerge from the data rather than from constants.
 All encodings implement the small :class:`Encoding` interface:
 ``encode`` → opaque state, ``decode`` → the original numpy array,
 ``encoded_bytes`` → approximate storage footprint.
+
+Beyond the round-trip interface, every encoding offers *compressed
+execution* fast paths that answer point lookups and predicates without
+materialising the full column:
+
+* ``take(indices)`` gathers individual positions (dictionary: gather codes
+  then one dictionary lookup; RLE: ``searchsorted`` over run boundaries;
+  delta: prefix-sum over the ``[min(indices), max(indices)]`` window only),
+* ``filter_mask(predicate)`` evaluates a vectorised element-wise predicate —
+  for dictionary/RLE columns on the *distinct values only* — and expands the
+  result through the codes/runs into a full-length boolean mask,
+* ``isin(values)`` pushes membership tests down the same way.
+
+Predicates handed to ``filter_mask`` must be element-wise and stateless:
+the encoding may invoke them on the distinct values rather than the full
+column, so anything that inspects its whole input (``v > v.mean()``) would
+silently change meaning.
 """
 
 from __future__ import annotations
@@ -19,10 +36,35 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def predicate_mask(values: np.ndarray, predicate) -> np.ndarray:
+    """Evaluate an element-wise predicate, insisting on a same-shape bool mask."""
+    mask = np.asarray(predicate(values), dtype=bool)
+    if mask.shape != values.shape:
+        raise ValueError("predicate must return one boolean per input value")
+    return mask
+
+
+def _normalised_indices(indices: np.ndarray, length: int) -> np.ndarray:
+    """Resolve negative positions the way plain fancy indexing would."""
+    indices = np.asarray(indices)
+    if indices.size and indices.min() < 0:
+        indices = np.where(indices < 0, indices + length, indices)
+    return indices
+
+
 class Encoding:
-    """Interface for column encodings."""
+    """Interface for column encodings.
+
+    ``supports_distinct_pushdown`` advertises whether ``filter_mask`` /
+    ``isin`` evaluate on the distinct values only (dictionary, RLE) rather
+    than falling back to a full decode.
+    """
 
     name: str = "base"
+    supports_distinct_pushdown: bool = False
+    # False when take() costs O(index span) rather than O(len(indices)) —
+    # callers should prefer decode-and-cache for wide gathers.
+    cheap_random_access: bool = True
 
     def encode(self, values: np.ndarray) -> None:
         raise NotImplementedError
@@ -35,6 +77,20 @@ class Encoding:
 
     def __len__(self) -> int:
         raise NotImplementedError
+
+    # -- compressed execution (generic fallbacks decode in full) -------------------
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Gather the values at ``indices`` from the encoded form."""
+        return self.decode()[np.asarray(indices)]
+
+    def filter_mask(self, predicate) -> np.ndarray:
+        """Full-length boolean mask for an element-wise predicate."""
+        return predicate_mask(self.decode(), predicate)
+
+    def isin(self, values: np.ndarray) -> np.ndarray:
+        """Full-length boolean membership mask."""
+        return np.isin(self.decode(), values)
 
 
 @dataclass
@@ -60,6 +116,21 @@ class PlainEncoding(Encoding):
     def __len__(self) -> int:
         return 0 if self._values is None else len(self._values)
 
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        if self._values is None:
+            return np.empty(0)[np.asarray(indices)]
+        return self._values[np.asarray(indices)]
+
+    def filter_mask(self, predicate) -> np.ndarray:
+        if self._values is None:
+            return np.empty(0, dtype=bool)
+        return predicate_mask(self._values, predicate)
+
+    def isin(self, values: np.ndarray) -> np.ndarray:
+        if self._values is None:
+            return np.empty(0, dtype=bool)
+        return np.isin(self._values, values)
+
 
 @dataclass
 class RunLengthEncoding(Encoding):
@@ -70,10 +141,12 @@ class RunLengthEncoding(Encoding):
     """
 
     name: str = "rle"
+    supports_distinct_pushdown: bool = True
 
     def __post_init__(self):
         self._run_values: np.ndarray | None = None
         self._run_lengths: np.ndarray | None = None
+        self._run_ends: np.ndarray | None = None
         self._dtype = None
         self._length = 0
 
@@ -81,6 +154,7 @@ class RunLengthEncoding(Encoding):
         values = np.asarray(values)
         self._dtype = values.dtype
         self._length = len(values)
+        self._run_ends = None
         if len(values) == 0:
             self._run_values = values.copy()
             self._run_lengths = np.empty(0, dtype=np.int64)
@@ -95,6 +169,33 @@ class RunLengthEncoding(Encoding):
         if self._run_values is None:
             return np.empty(0)
         return np.repeat(self._run_values, self._run_lengths)
+
+    def _cumulative_run_ends(self) -> np.ndarray:
+        if self._run_ends is None:
+            self._run_ends = np.cumsum(self._run_lengths)
+        return self._run_ends
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        if self._run_values is None:
+            return np.empty(0)[np.asarray(indices)]
+        indices = _normalised_indices(indices, self._length)
+        if indices.size and (indices.min() < 0 or indices.max() >= self._length):
+            raise IndexError(
+                f"index out of bounds for RLE column of length {self._length}"
+            )
+        run_index = np.searchsorted(self._cumulative_run_ends(), indices, side="right")
+        return self._run_values[run_index]
+
+    def filter_mask(self, predicate) -> np.ndarray:
+        if self._run_values is None:
+            return np.empty(0, dtype=bool)
+        run_mask = predicate_mask(self._run_values, predicate)
+        return np.repeat(run_mask, self._run_lengths)
+
+    def isin(self, values: np.ndarray) -> np.ndarray:
+        if self._run_values is None:
+            return np.empty(0, dtype=bool)
+        return np.repeat(np.isin(self._run_values, values), self._run_lengths)
 
     def encoded_bytes(self) -> int:
         if self._run_values is None:
@@ -117,6 +218,7 @@ class DictionaryEncoding(Encoding):
     """
 
     name: str = "dictionary"
+    supports_distinct_pushdown: bool = True
 
     def __post_init__(self):
         self._dictionary: np.ndarray | None = None
@@ -152,6 +254,41 @@ class DictionaryEncoding(Encoding):
     def cardinality(self) -> int:
         return 0 if self._dictionary is None else len(self._dictionary)
 
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        if self._dictionary is None or self._codes is None:
+            return np.empty(0)[np.asarray(indices)]
+        return self._dictionary[self._codes[np.asarray(indices)]]
+
+    def filter_mask(self, predicate) -> np.ndarray:
+        if self._dictionary is None or self._codes is None:
+            return np.empty(0, dtype=bool)
+        return self._expand_distinct_mask(predicate_mask(self._dictionary, predicate))
+
+    def isin(self, values: np.ndarray) -> np.ndarray:
+        if self._dictionary is None or self._codes is None:
+            return np.empty(0, dtype=bool)
+        return self._expand_distinct_mask(np.isin(self._dictionary, values))
+
+    def _expand_distinct_mask(self, distinct_mask: np.ndarray) -> np.ndarray:
+        """Expand a per-distinct-value verdict to a full-length row mask.
+
+        The dictionary is sorted, so range predicates (``<``, ``>=``, …)
+        produce prefix/suffix verdict masks; those expand as a single code
+        comparison instead of a gather.
+        """
+        codes = self._codes
+        true_count = int(distinct_mask.sum())
+        cardinality = len(distinct_mask)
+        if true_count == 0:
+            return np.zeros(len(codes), dtype=bool)
+        if true_count == cardinality:
+            return np.ones(len(codes), dtype=bool)
+        if distinct_mask[:true_count].all():
+            return codes < true_count
+        if distinct_mask[cardinality - true_count:].all():
+            return codes >= cardinality - true_count
+        return distinct_mask[codes]
+
 
 @dataclass
 class DeltaEncoding(Encoding):
@@ -162,6 +299,7 @@ class DeltaEncoding(Encoding):
     """
 
     name: str = "delta"
+    cheap_random_access: bool = False
 
     def __post_init__(self):
         self._first = None
@@ -201,30 +339,134 @@ class DeltaEncoding(Encoding):
             return 0
         return len(self._deltas) + 1
 
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Gather via a prefix sum over the ``[min, max]`` index window only."""
+        indices = np.asarray(indices)
+        if self._first is None:
+            return np.empty(0, dtype=self._dtype or np.int64)[indices]
+        length = len(self._deltas) + 1
+        indices = _normalised_indices(indices, length)
+        if indices.size == 0:
+            return np.empty(0, dtype=self._dtype)
+        low = int(indices.min())
+        high = int(indices.max())
+        if low < 0 or high >= length:
+            raise IndexError(
+                f"index out of bounds for delta column of length {length}"
+            )
+        start = np.int64(self._first) + self._deltas[:low].sum(dtype=np.int64)
+        window = np.concatenate(
+            [[start], start + np.cumsum(self._deltas[low:high], dtype=np.int64)]
+        )
+        return window[indices - low].astype(self._dtype)
+
+
+def _dictionary_code_bytes(cardinality: int) -> int:
+    """Per-code width the dictionary encoding would use (mirrors its encode)."""
+    if cardinality <= np.iinfo(np.uint8).max + 1:
+        return 1
+    if cardinality <= np.iinfo(np.uint16).max + 1:
+        return 2
+    return 4
+
+
+def _delta_item_bytes(max_abs_delta: int) -> int:
+    """Per-delta width the delta encoding would use (mirrors its encode)."""
+    if max_abs_delta <= np.iinfo(np.int16).max:
+        return 2
+    if max_abs_delta <= np.iinfo(np.int32).max:
+        return 4
+    return 8
+
+
+def encoding_sizes(values: np.ndarray) -> dict[str, int]:
+    """Predict each candidate encoding's footprint from column statistics.
+
+    The predictions are exact — they reproduce ``encoded_bytes()`` of the
+    real encodings — but are computed from cheap scalar statistics (run
+    count, cardinality, maximum delta width) instead of materialising every
+    candidate.  Cardinality (the only sort-cost statistic) is skipped when a
+    lower bound proves the dictionary cannot win.
+    """
+    values = np.asarray(values)
+    n = values.size
+    itemsize = values.dtype.itemsize
+    sizes: dict[str, int] = {"plain": values.nbytes}
+    if not n:
+        return sizes
+    is_integral = np.issubdtype(values.dtype, np.integer) or np.issubdtype(
+        values.dtype, np.bool_
+    )
+
+    run_count = int(np.count_nonzero(values[1:] != values[:-1])) + 1
+    sizes["rle"] = run_count * itemsize + run_count * 8
+
+    if is_integral:
+        deltas = np.diff(values.astype(np.int64))
+        max_abs_delta = int(np.abs(deltas).max()) if len(deltas) else 0
+        sizes["delta"] = 8 + (n - 1) * _delta_item_bytes(max_abs_delta)
+
+    dictionary_applies = is_integral
+    if not dictionary_applies:
+        # Floats: only dictionary-encode plausibly low-cardinality columns.
+        dictionary_applies = _distinct_count(values[: min(n, 10_000)]) <= 4096
+    if dictionary_applies:
+        # Codes cost ≥ 1 byte/row and the dictionary ≥ 1 entry, so skip the
+        # O(n log n) exact-cardinality pass when that bound cannot win.
+        best_so_far = min(sizes.values())
+        if n + itemsize <= best_so_far:
+            cardinality = run_count if run_count <= 1 else _distinct_count(values)
+            sizes["dictionary"] = (
+                cardinality * itemsize + n * _dictionary_code_bytes(cardinality)
+            )
+    return sizes
+
+
+def _distinct_count(values: np.ndarray) -> int:
+    """Exact cardinality via sort-and-count (faster than ``np.unique`` here).
+
+    Collapses NaNs to one distinct value, matching the ``np.unique`` the
+    dictionary encoder itself uses — ``!=`` alone would count every NaN.
+    """
+    if not values.size:
+        return 0
+    sorted_values = np.sort(values)
+    if sorted_values.dtype.kind == "f":
+        nan_count = int(np.count_nonzero(np.isnan(sorted_values)))
+        if nan_count:
+            sorted_values = sorted_values[: len(sorted_values) - nan_count]
+            if not sorted_values.size:
+                return 1
+            return int(np.count_nonzero(sorted_values[1:] != sorted_values[:-1])) + 2
+    return int(np.count_nonzero(sorted_values[1:] != sorted_values[:-1])) + 1
+
+
+_ENCODING_CLASSES: dict[str, type[Encoding]] = {
+    "plain": PlainEncoding,
+    "rle": RunLengthEncoding,
+    "dictionary": DictionaryEncoding,
+    "delta": DeltaEncoding,
+}
+
+# Tie-break order: simpler encodings win equal footprints.
+_ENCODING_PRECEDENCE = ("plain", "rle", "dictionary", "delta")
+
 
 def best_encoding(values: np.ndarray) -> Encoding:
     """Pick the smallest applicable encoding for a column.
 
-    Float columns with many distinct values stay plain; integer columns try
-    RLE, dictionary and delta and keep whichever is smallest (ties go to the
-    simpler encoding in the order plain → RLE → dictionary → delta).
+    Float columns with many distinct values stay plain; integer columns
+    consider RLE, dictionary and delta and keep whichever is smallest (ties
+    go to the simpler encoding in the order plain → RLE → dictionary →
+    delta).  Candidate footprints come from :func:`encoding_sizes` — O(1)
+    statistics per candidate — so only the winning encoding is ever built.
     """
     values = np.asarray(values)
-    candidates: list[Encoding] = [PlainEncoding()]
-    if values.size:
-        if np.issubdtype(values.dtype, np.integer) or np.issubdtype(values.dtype, np.bool_):
-            candidates.extend([RunLengthEncoding(), DictionaryEncoding(), DeltaEncoding()])
-        else:
-            # RLE still wins for constant/low-cardinality float columns.
-            candidates.append(RunLengthEncoding())
-            distinct = len(np.unique(values[: min(len(values), 10_000)]))
-            if distinct <= 4096:
-                candidates.append(DictionaryEncoding())
-    best: Encoding | None = None
-    best_size = None
-    for encoding in candidates:
-        encoding.encode(values)
-        size = encoding.encoded_bytes()
-        if best is None or size < best_size:
-            best, best_size = encoding, size
-    return best
+    sizes = encoding_sizes(values)
+    best_name = min(
+        (name for name in _ENCODING_PRECEDENCE if name in sizes),
+        key=lambda name: (sizes[name], _ENCODING_PRECEDENCE.index(name)),
+    )
+    encoding = _ENCODING_CLASSES[best_name]()
+    encoding.encode(values)
+    return encoding

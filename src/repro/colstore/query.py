@@ -9,6 +9,14 @@ narrow the selection vector using whole-column vectorised comparisons;
 Joins produce a new in-memory :class:`ColumnTable` built from gathered
 columns (a materialised join result), since GenBase's join outputs feed
 either a pivot or an aggregate immediately afterwards.
+
+Filters execute *on the compressed form* where the encoding allows it:
+dictionary and RLE columns evaluate predicates on their distinct values
+only and expand the verdicts through codes/runs
+(:meth:`~repro.colstore.column.ColumnVector.filter_mask`), so predicates
+must be element-wise and stateless.  The equi-join is a vectorised
+sort-merge (``argsort`` + ``searchsorted`` position arrays) rather than an
+interpreted hash loop.
 """
 
 from __future__ import annotations
@@ -17,7 +25,94 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.colstore.compression import predicate_mask
 from repro.colstore.table import ColumnTable
+
+
+def merge_join_positions(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised equi-join returning aligned ``(left, right)`` position arrays.
+
+    Groups the smaller (build) side by key — direct addressing over the key
+    range for dense integer keys, ``argsort`` + ``searchsorted`` otherwise —
+    then expands each probe row's hit range with ``repeat`` arithmetic; no
+    Python-level loop over rows.  Output is larger-side-major; within one
+    probe row the matches appear in build-position order.
+    """
+    if len(left_keys) <= len(right_keys):
+        left_positions, right_positions = _match_positions(left_keys, right_keys)
+    else:
+        right_positions, left_positions = _match_positions(right_keys, left_keys)
+    return left_positions, right_positions
+
+
+# Direct addressing allocates O(key range) scratch; cap it so sparse keys
+# fall back to the sort-merge path instead of exploding memory.
+_DIRECT_ADDRESS_SLACK = 16
+_DIRECT_ADDRESS_MIN_SPAN = 1 << 20
+
+
+def _match_positions(
+    build_keys: np.ndarray, probe_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match positions ``(build, probe)``, picking the cheapest strategy."""
+    # Direct addressing does int64 arithmetic on the keys, so both sides must
+    # fit int64 losslessly (uint64 would wrap and fabricate matches).
+    both_integral = all(
+        np.issubdtype(keys.dtype, np.integer) and np.can_cast(keys.dtype, np.int64)
+        for keys in (build_keys, probe_keys)
+    )
+    if both_integral and build_keys.size and probe_keys.size:
+        key_min = int(build_keys.min())
+        span = int(build_keys.max()) - key_min + 1
+        budget = max(
+            _DIRECT_ADDRESS_MIN_SPAN,
+            _DIRECT_ADDRESS_SLACK * (len(build_keys) + len(probe_keys)),
+        )
+        if span <= budget:
+            return _direct_address_positions(build_keys, probe_keys, key_min, span)
+    return _sorted_match_positions(build_keys, probe_keys)
+
+
+def _expand_hit_ranges(
+    low: np.ndarray, counts: np.ndarray, order: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe hit ranges ``[low, low+counts)`` over ``order``."""
+    total = int(counts.sum())
+    probe_positions = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    # Per-output offset within its probe row's hit range.
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts, dtype=np.int64) - counts, counts
+    )
+    build_positions = order[np.repeat(low, counts) + within]
+    return build_positions.astype(np.int64), probe_positions
+
+
+def _direct_address_positions(
+    build_keys: np.ndarray, probe_keys: np.ndarray, key_min: int, span: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense-integer fast path: bucket the build side by key value directly."""
+    shifted_build = build_keys.astype(np.int64) - key_min
+    per_key_counts = np.bincount(shifted_build, minlength=span)
+    per_key_starts = np.cumsum(per_key_counts) - per_key_counts
+    order = np.argsort(shifted_build, kind="stable")  # build positions by key
+    shifted_probe = probe_keys.astype(np.int64) - key_min
+    clipped = np.clip(shifted_probe, 0, span - 1)
+    in_range = (shifted_probe >= 0) & (shifted_probe < span)
+    counts = np.where(in_range, per_key_counts[clipped], 0)
+    return _expand_hit_ranges(per_key_starts[clipped], counts, order)
+
+
+def _sorted_match_positions(
+    build_keys: np.ndarray, probe_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generic path: sort the build side, binary-search it with the probes."""
+    order = np.argsort(build_keys, kind="stable")
+    sorted_build = build_keys[order]
+    low = np.searchsorted(sorted_build, probe_keys, side="left")
+    high = np.searchsorted(sorted_build, probe_keys, side="right")
+    return _expand_hit_ranges(low, high - low, order)
 
 
 class ColumnQuery:
@@ -25,28 +120,46 @@ class ColumnQuery:
 
     def __init__(self, table: ColumnTable, selection: np.ndarray | None = None):
         self.table = table
+        self._full_selection = selection is None
         if selection is None:
             selection = np.arange(table.row_count, dtype=np.int64)
         self.selection = np.asarray(selection, dtype=np.int64)
 
     # -- filtering -----------------------------------------------------------------
 
+    def _narrowed(self, full_mask: np.ndarray) -> "ColumnQuery":
+        """Narrow the selection with a full-column boolean mask."""
+        if self._full_selection:
+            return ColumnQuery(self.table, np.flatnonzero(full_mask).astype(np.int64))
+        return ColumnQuery(self.table, self.selection[full_mask[self.selection]])
+
     def where(self, column: str, predicate: Callable[[np.ndarray], np.ndarray]) -> "ColumnQuery":
         """Keep rows where ``predicate(column_values)`` is True.
 
-        The predicate receives the *already selected* values of the column
-        and must return a boolean array of the same length.
+        The predicate must be a vectorised, element-wise, stateless function
+        returning one boolean per input value.  On dictionary/RLE columns it
+        is pushed down to the *distinct* values and expanded through the
+        codes/runs, so it never sees the full (or selected) column there.
         """
-        values = self.table.column(column).take(self.selection)
-        mask = np.asarray(predicate(values), dtype=bool)
-        if mask.shape != values.shape:
-            raise ValueError("predicate must return one boolean per input value")
+        vector = self.table.column(column)
+        if self._full_selection or vector.supports_distinct_pushdown:
+            return self._narrowed(vector.filter_mask(predicate))
+        # Plain/delta columns with a narrowed selection: gather first so the
+        # predicate runs over the selected values only (seed behaviour).
+        mask = predicate_mask(vector.take(self.selection), predicate)
         return ColumnQuery(self.table, self.selection[mask])
 
     def where_in(self, column: str, values: Sequence) -> "ColumnQuery":
-        """Keep rows whose column value is in ``values``."""
-        lookup = np.asarray(list(values))
-        return self.where(column, lambda v: np.isin(v, lookup))
+        """Keep rows whose column value is in ``values``.
+
+        Accepts any array-like (ndarrays are used as-is, no Python-list
+        round trip); keys are deduplicated before the membership test and
+        the test itself is pushed down the column's encoding.
+        """
+        if not isinstance(values, np.ndarray):
+            values = np.asarray(list(values))
+        lookup = np.unique(values)
+        return self._narrowed(self.table.column(column).isin(lookup))
 
     def sample(self, fraction: float, seed: int = 0) -> "ColumnQuery":
         """Keep a deterministic random sample of the current selection."""
@@ -114,38 +227,19 @@ class ColumnQuery:
 
         left_keys = self.column(left_key)
         right_keys = other.column(right_key)
+        left_positions, right_positions = merge_join_positions(left_keys, right_keys)
 
-        # Build a hash index on the smaller side, probe with the larger.
-        build_left = len(left_keys) <= len(right_keys)
-        build_values = left_keys if build_left else right_keys
-        probe_values = right_keys if build_left else left_keys
-
-        index: dict[object, list[int]] = {}
-        for position, key in enumerate(build_values.tolist()):
-            index.setdefault(key, []).append(position)
-
-        build_positions: list[int] = []
-        probe_positions: list[int] = []
-        for position, key in enumerate(probe_values.tolist()):
-            matches = index.get(key)
-            if not matches:
-                continue
-            for match in matches:
-                build_positions.append(match)
-                probe_positions.append(position)
-
-        if build_left:
-            left_positions = np.asarray(build_positions, dtype=np.int64)
-            right_positions = np.asarray(probe_positions, dtype=np.int64)
-        else:
-            left_positions = np.asarray(probe_positions, dtype=np.int64)
-            right_positions = np.asarray(build_positions, dtype=np.int64)
-
+        # One gather path for both sides: compose the join positions with the
+        # selection vectors and let the (possibly compressed) column gather —
+        # empty position arrays then yield empty outputs whose dtype matches
+        # the populated case by construction.
+        left_rows = self.selection[left_positions]
+        right_rows = other.selection[right_positions]
         arrays: dict[str, np.ndarray] = {}
         for output_name, source in columns.items():
-            arrays[output_name] = self.column(source)[left_positions] if len(left_positions) else np.empty(0, dtype=self.table.column(source).dtype)
+            arrays[output_name] = self.table.column(source).take(left_rows)
         for output_name, source in other_columns.items():
-            arrays[output_name] = other.column(source)[right_positions] if len(right_positions) else np.empty(0, dtype=other.table.column(source).dtype)
+            arrays[output_name] = other.table.column(source).take(right_rows)
         return ColumnTable.from_arrays(result_name, arrays)
 
     # -- aggregation -----------------------------------------------------------------

@@ -90,20 +90,36 @@ class _ColumnStoreDataManagement(Engine):
         return self.store.query("genes").where("function", lambda v: v < threshold).column("gene_id")
 
     def _drug_response_for(self, patient_labels: np.ndarray) -> np.ndarray:
+        """Align drug responses with ``patient_labels`` via sorted binary search."""
         patients = self.store.query("patients")
         ids = patients.column("patient_id")
         response = patients.column("drug_response")
-        lookup = dict(zip(ids.tolist(), response.tolist()))
-        return np.asarray([lookup[int(label)] for label in patient_labels])
+        labels = np.asarray(patient_labels, dtype=np.int64)
+        order = np.argsort(ids, kind="stable")
+        positions = np.searchsorted(ids, labels, sorter=order)
+        if positions.size:
+            in_range = positions < len(ids)
+            matched = in_range.copy()
+            matched[in_range] = ids[order[positions[in_range]]] == labels[in_range]
+            if not matched.all():
+                raise KeyError(int(labels[~matched][0]))
+        return response[order[positions]]
 
     def _membership_matrix(self, gene_labels: np.ndarray) -> np.ndarray:
-        membership = np.zeros((len(gene_labels), self.n_go_terms), dtype=np.int8)
-        positions = {int(label): position for position, label in enumerate(gene_labels)}
+        """GO-membership matrix built by a fancy-index scatter (no row loop)."""
+        labels = np.asarray(gene_labels, dtype=np.int64)
+        membership = np.zeros((len(labels), self.n_go_terms), dtype=np.int8)
         ontology = self.store.query("ontology")
-        for gene_id, go_id in zip(ontology.column("gene_id").tolist(), ontology.column("go_id").tolist()):
-            position = positions.get(int(gene_id))
-            if position is not None:
-                membership[position, int(go_id)] = 1
+        gene_ids = ontology.column("gene_id")
+        go_ids = ontology.column("go_id")
+        if not len(labels) or not len(gene_ids):
+            return membership
+        order = np.argsort(labels, kind="stable")
+        positions = np.searchsorted(labels, gene_ids, sorter=order)
+        in_range = positions < len(labels)
+        matched = in_range.copy()
+        matched[in_range] = labels[order[positions[in_range]]] == gene_ids[in_range]
+        membership[order[positions[matched]], go_ids[matched]] = 1
         return membership
 
     # -- the common per-query data-management stage ------------------------------------------

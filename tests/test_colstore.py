@@ -16,6 +16,12 @@ from repro.colstore import (
     RunLengthEncoding,
     best_encoding,
 )
+from repro.colstore.compression import encoding_sizes
+from repro.colstore.query import (
+    _direct_address_positions,
+    _sorted_match_positions,
+    merge_join_positions,
+)
 from repro.colstore.udf import UdfHost
 
 
@@ -71,6 +77,172 @@ class TestEncodings:
         ):
             encoding = best_encoding(values)
             np.testing.assert_array_equal(encoding.decode(), values)
+
+    def test_best_encoding_matches_brute_force(self, rng):
+        """The stats-driven picker must agree with encode-all-and-compare."""
+        samples = [
+            np.zeros(1, dtype=np.int64),
+            np.zeros(5000, dtype=np.int64),
+            np.arange(5000, dtype=np.int64),
+            rng.integers(0, 3, 5000),
+            rng.integers(0, 300, 5000),
+            rng.integers(0, 100_000, 5000),
+            np.sort(rng.integers(0, 40, 5000)),
+            rng.random(2000),
+            np.repeat(rng.random(5), 1000),
+            rng.integers(0, 2, 500).astype(bool),
+        ]
+        for values in samples:
+            candidates = [PlainEncoding()]
+            if values.size:
+                if np.issubdtype(values.dtype, np.integer) or np.issubdtype(values.dtype, np.bool_):
+                    candidates.extend(
+                        [RunLengthEncoding(), DictionaryEncoding(), DeltaEncoding()]
+                    )
+                else:
+                    candidates.append(RunLengthEncoding())
+                    if len(np.unique(values[: min(len(values), 10_000)])) <= 4096:
+                        candidates.append(DictionaryEncoding())
+            best = best_size = None
+            for candidate in candidates:
+                candidate.encode(values)
+                size = candidate.encoded_bytes()
+                if best is None or size < best_size:
+                    best, best_size = candidate, size
+            chosen = best_encoding(values)
+            assert chosen.name == best.name, values[:10]
+            assert chosen.encoded_bytes() == best.encoded_bytes()
+
+    def test_best_encoding_nan_floats_can_pick_dictionary(self):
+        values = np.where(np.arange(10_000) % 2 == 0, np.nan, 1.5)
+        chosen = best_encoding(values)
+        brute = DictionaryEncoding()
+        brute.encode(values)
+        assert chosen.encoded_bytes() <= brute.encoded_bytes()
+        np.testing.assert_array_equal(chosen.decode(), values)
+
+    def test_encoding_sizes_are_exact(self, rng):
+        values = rng.integers(0, 300, 5000)
+        sizes = encoding_sizes(values)
+        for name, encoding in (
+            ("plain", PlainEncoding()),
+            ("rle", RunLengthEncoding()),
+            ("dictionary", DictionaryEncoding()),
+            ("delta", DeltaEncoding()),
+        ):
+            if name in sizes:
+                encoding.encode(values)
+                assert sizes[name] == encoding.encoded_bytes(), name
+
+
+class TestCompressedFastPaths:
+    def test_rle_take_hits_run_boundaries(self):
+        values = np.repeat(np.array([7, 3, 3, 9]), [4, 1, 2, 3])
+        encoding = RunLengthEncoding()
+        encoding.encode(values)
+        indices = np.array([0, 3, 4, 5, 6, 7, 9, -1])
+        np.testing.assert_array_equal(encoding.take(indices), values[indices])
+        with pytest.raises(IndexError):
+            encoding.take(np.array([len(values)]))
+
+    def test_delta_take_window(self):
+        values = np.cumsum(np.arange(1, 50, dtype=np.int64))
+        encoding = DeltaEncoding()
+        encoding.encode(values)
+        indices = np.array([10, 12, 17, 10, -1])
+        np.testing.assert_array_equal(encoding.take(indices), values[indices])
+        assert encoding.take(np.empty(0, dtype=np.int64)).dtype == values.dtype
+        with pytest.raises(IndexError):
+            encoding.take(np.array([len(values)]))
+
+    def test_dictionary_filter_range_and_scattered(self):
+        values = np.tile(np.arange(10), 100)
+        encoding = DictionaryEncoding()
+        encoding.encode(values)
+        for predicate in (
+            lambda v: v < 4,          # prefix of the sorted dictionary
+            lambda v: v >= 7,         # suffix
+            lambda v: v % 2 == 0,     # scattered verdicts
+            lambda v: v < -1,         # nothing
+            lambda v: v < 99,         # everything
+        ):
+            np.testing.assert_array_equal(
+                encoding.filter_mask(predicate), predicate(values)
+            )
+
+    def test_filter_mask_shape_check_on_distinct_values(self):
+        values = np.tile(np.arange(10), 100)
+        encoding = DictionaryEncoding()
+        encoding.encode(values)
+        with pytest.raises(ValueError):
+            encoding.filter_mask(lambda v: np.array([True]))
+
+    def test_vector_take_before_and_after_decode(self, rng):
+        values = np.sort(rng.integers(0, 6, 500))
+        column = ColumnVector("x", values)
+        indices = np.array([0, 250, 499])
+        np.testing.assert_array_equal(column.take(indices), values[indices])  # encoded
+        column.values()  # populate the decode cache
+        np.testing.assert_array_equal(column.take(indices), values[indices])  # cached
+
+
+class TestMergeJoinPositions:
+    def _reference(self, left, right):
+        pairs = [
+            (i, j)
+            for j, rk in enumerate(right.tolist())
+            for i, lk in enumerate(left.tolist())
+            if lk == rk
+        ]
+        return pairs
+
+    def test_direct_and_sorted_paths_agree(self, rng):
+        left = rng.integers(0, 40, 120).astype(np.int64)
+        right = rng.integers(0, 40, 300).astype(np.int64)
+        direct = _direct_address_positions(left, right, int(left.min()),
+                                           int(left.max()) - int(left.min()) + 1)
+        sorted_path = _sorted_match_positions(left, right)
+        np.testing.assert_array_equal(direct[0], sorted_path[0])
+        np.testing.assert_array_equal(direct[1], sorted_path[1])
+
+    def test_matches_quadratic_reference(self, rng):
+        left = rng.integers(0, 8, 25).astype(np.int64)
+        right = rng.integers(0, 8, 40).astype(np.int64)
+        left_positions, right_positions = merge_join_positions(left, right)
+        assert sorted(zip(left_positions.tolist(), right_positions.tolist())) == sorted(
+            self._reference(left, right)
+        )
+
+    def test_float_keys_use_sort_merge(self, rng):
+        left = rng.choice(np.array([0.5, 1.5, 2.5]), 20)
+        right = rng.choice(np.array([0.5, 1.5, 9.5]), 30)
+        left_positions, right_positions = merge_join_positions(left, right)
+        np.testing.assert_array_equal(left[left_positions], right[right_positions])
+        assert sorted(zip(left_positions.tolist(), right_positions.tolist())) == sorted(
+            self._reference(left, right)
+        )
+
+    def test_probe_keys_outside_build_range(self):
+        left = np.array([5, 6, 7], dtype=np.int64)
+        right = np.array([1, 5, 900, 7, -3], dtype=np.int64)
+        left_positions, right_positions = merge_join_positions(left, right)
+        np.testing.assert_array_equal(left[left_positions], [5, 7])
+        np.testing.assert_array_equal(right_positions, [1, 3])
+
+    def test_uint64_keys_do_not_wrap(self):
+        left = np.array([-5, 1, 2], dtype=np.int64)
+        right = np.array([2**64 - 5, 1], dtype=np.uint64)
+        left_positions, right_positions = merge_join_positions(left, right)
+        # 2**64 - 5 must not wrap to -5 and fabricate a match.
+        np.testing.assert_array_equal(left[left_positions], [1])
+        np.testing.assert_array_equal(right_positions, [1])
+
+    def test_empty_sides(self):
+        empty = np.empty(0, dtype=np.int64)
+        keys = np.array([1, 2], dtype=np.int64)
+        for left, right in ((empty, keys), (keys, empty), (empty, empty)):
+            left_positions, right_positions = merge_join_positions(left, right)
+            assert len(left_positions) == len(right_positions) == 0
 
 
 class TestColumnVectorAndTable:
@@ -151,6 +323,23 @@ class TestColumnQuery:
             .where("expression_value", lambda v: v > 0)
         )
         assert np.all(np.isin(query.column("gene_id"), [0, 1, 2]))
+
+    def test_where_in_accepts_ndarray_and_dedupes(self, store):
+        reference = store.query("microarray").where_in("gene_id", [0, 1, 2]).selection
+        for keys in (
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([2, 0, 1, 1, 2, 0, 0]),  # duplicated, unsorted
+            iter([0, 1, 2, 2]),               # any iterable still works
+        ):
+            np.testing.assert_array_equal(
+                store.query("microarray").where_in("gene_id", keys).selection, reference
+            )
+
+    def test_where_in_chained_after_filter(self, store):
+        narrowed = store.query("microarray").where("expression_value", lambda v: v > 0)
+        chained = narrowed.where_in("gene_id", np.array([0, 1]))
+        assert np.all(np.isin(chained.column("gene_id"), [0, 1]))
+        assert np.all(chained.column("expression_value") > 0)
 
     def test_where_predicate_shape_check(self, store):
         with pytest.raises(ValueError):

@@ -7,12 +7,17 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.colstore.column import ColumnVector
 from repro.colstore.compression import (
     DeltaEncoding,
     DictionaryEncoding,
+    PlainEncoding,
     RunLengthEncoding,
     best_encoding,
+    encoding_sizes,
 )
+from repro.colstore.query import ColumnQuery
+from repro.colstore.table import ColumnTable
 from repro.datagen.writer import matrix_from_csv_string, matrix_to_csv_string
 from repro.linalg.covariance import covariance_matrix
 from repro.linalg.qr import householder_qr, linear_regression, lstsq_qr
@@ -80,6 +85,156 @@ class TestEncodingProperties:
     def test_best_encoding_roundtrip_floats(self, values):
         encoding = best_encoding(values)
         np.testing.assert_array_equal(encoding.decode(), values)
+
+
+# ---------------------------------------------------------------------------- #
+# Compressed execution: encoded fast paths must match the plain-decode answers
+# ---------------------------------------------------------------------------- #
+
+ALL_ENCODINGS = (PlainEncoding, RunLengthEncoding, DictionaryEncoding, DeltaEncoding)
+
+# Includes all-ties (constant) columns explicitly: one value repeated.
+encodable_int_arrays = st.one_of(
+    int_arrays,
+    st.builds(
+        lambda value, n: np.full(n, value, dtype=np.int64),
+        st.integers(-1000, 1000),
+        st.integers(0, 200),
+    ),
+    # Sorted / low-cardinality shapes that exercise long runs and small dicts.
+    int_arrays.map(np.sort),
+    int_arrays.map(lambda a: a % 5),
+)
+
+
+def _indices_for(draw, length):
+    """Index arrays into a column of ``length`` rows, empty ones included."""
+    if length == 0:
+        return np.empty(0, dtype=np.int64)
+    return draw(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(0, 50),
+            elements=st.integers(0, length - 1),
+        )
+    )
+
+
+class TestCompressedExecutionProperties:
+    @given(encodable_int_arrays, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_take_matches_plain_gather(self, values, data):
+        indices = _indices_for(data.draw, len(values))
+        for encoding_class in ALL_ENCODINGS:
+            encoding = encoding_class()
+            encoding.encode(values)
+            np.testing.assert_array_equal(
+                encoding.take(indices), values[indices],
+                err_msg=f"take mismatch for {encoding.name}",
+            )
+
+    @given(encodable_int_arrays, st.integers(-1000, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_filter_mask_matches_plain_predicate(self, values, threshold):
+        predicates = [
+            lambda v: v < threshold,
+            lambda v: v >= threshold,
+            lambda v: v == threshold,
+            lambda v: (v % 3) == 0,
+        ]
+        for encoding_class in ALL_ENCODINGS:
+            encoding = encoding_class()
+            encoding.encode(values)
+            for predicate in predicates:
+                np.testing.assert_array_equal(
+                    encoding.filter_mask(predicate), predicate(values),
+                    err_msg=f"filter_mask mismatch for {encoding.name}",
+                )
+
+    @given(encodable_int_arrays, int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_isin_matches_plain_membership(self, values, lookup):
+        expected = np.isin(values, lookup)
+        for encoding_class in ALL_ENCODINGS:
+            encoding = encoding_class()
+            encoding.encode(values)
+            np.testing.assert_array_equal(
+                encoding.isin(lookup), expected,
+                err_msg=f"isin mismatch for {encoding.name}",
+            )
+
+    @given(encodable_int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_predicted_sizes_match_real_encodings(self, values):
+        sizes = encoding_sizes(values)
+        real = {
+            "plain": PlainEncoding(),
+            "rle": RunLengthEncoding(),
+            "dictionary": DictionaryEncoding(),
+            "delta": DeltaEncoding(),
+        }
+        for name, predicted in sizes.items():
+            real[name].encode(values)
+            assert predicted == real[name].encoded_bytes(), name
+
+    @given(encodable_int_arrays, st.integers(-1000, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_query_where_compressed_equals_uncompressed(self, values, threshold):
+        arrays = {"key": values, "payload": np.arange(len(values), dtype=np.int64)}
+        compressed = ColumnQuery(ColumnTable.from_arrays("c", arrays, compress=True))
+        plain = ColumnQuery(ColumnTable.from_arrays("p", arrays, compress=False))
+        for query in (
+            lambda q: q.where("key", lambda v: v < threshold),
+            lambda q: q.where("key", lambda v: v == threshold),  # maybe empty
+            lambda q: q.where_in("key", np.asarray([threshold, threshold, 0])),
+        ):
+            left, right = query(compressed), query(plain)
+            np.testing.assert_array_equal(left.selection, right.selection)
+            np.testing.assert_array_equal(left.column("payload"), right.column("payload"))
+
+    @given(
+        st.one_of(int_arrays, int_arrays.map(lambda a: a % 4)),
+        st.one_of(int_arrays, int_arrays.map(lambda a: a % 4)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_join_compressed_equals_uncompressed(self, left_keys, right_keys):
+        left_arrays = {"k": left_keys, "lv": np.arange(len(left_keys), dtype=np.int64)}
+        right_arrays = {"k": right_keys, "rv": np.arange(len(right_keys), dtype=np.int64)}
+
+        def join(compress):
+            left = ColumnQuery(ColumnTable.from_arrays("l", left_arrays, compress=compress))
+            right = ColumnQuery(ColumnTable.from_arrays("r", right_arrays, compress=compress))
+            return left.join(right, "k", "k")
+
+        compressed, plain = join(True), join(False)
+        assert compressed.column_names == plain.column_names
+        for name in plain.column_names:
+            np.testing.assert_array_equal(compressed.values(name), plain.values(name))
+            assert compressed.values(name).dtype == plain.values(name).dtype
+
+    @given(int_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_join_empty_result_dtypes_match_populated_case(self, keys):
+        arrays = {"k": keys, "v": np.arange(len(keys), dtype=np.int64) * 0.5}
+        left = ColumnQuery(ColumnTable.from_arrays("l", arrays))
+        right_arrays = {"k": np.asarray([2000], dtype=np.int64), "w": np.asarray([1.5])}
+        right = ColumnQuery(ColumnTable.from_arrays("r", right_arrays))
+        empty = left.join(right, "k", "k")  # 2000 is outside the key domain
+        assert empty.row_count == 0
+        assert empty.values("k").dtype == np.int64
+        assert empty.values("v").dtype == np.float64
+        assert empty.values("w").dtype == np.float64
+
+    @given(encodable_int_arrays, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_column_vector_paths_match_values(self, values, data):
+        indices = _indices_for(data.draw, len(values))
+        column = ColumnVector("x", values)
+        np.testing.assert_array_equal(column.take(indices), values[indices])
+        np.testing.assert_array_equal(column.isin(np.asarray([0, 1])), np.isin(values, [0, 1]))
+        np.testing.assert_array_equal(
+            column.filter_mask(lambda v: v > 0), values > 0
+        )
 
 
 # ---------------------------------------------------------------------------- #
