@@ -1,8 +1,8 @@
 """Microbenchmark: compressed execution vs the decode-everything baseline.
 
 Sweeps the column-store hot operations — filter scans, membership tests,
-the equi-join, pivot and table load — over the four encodings at a chosen
-size, timing each op twice:
+the equi-join, group-aggregates, pivot and table load — over the four
+encodings at a chosen size, timing each op twice:
 
 * **compressed** — the current fast paths (predicate pushdown onto distinct
   values, ``searchsorted`` sort-merge join, stats-driven encoding choice),
@@ -91,6 +91,40 @@ def baseline_hash_join_positions(
         np.asarray(probe_positions, dtype=np.int64),
         np.asarray(build_positions, dtype=np.int64),
     )
+
+
+def baseline_group_aggregate(encoding, values: np.ndarray, function: str = "mean"):
+    """Seed GROUP BY: decode the group column, ``np.unique`` + bincount (verbatim)."""
+    groups = encoding.decode()
+    values = values.astype(np.float64)
+    keys, inverse = np.unique(groups, return_inverse=True)
+    if function == "count":
+        return keys, np.bincount(inverse, minlength=len(keys)).astype(np.float64)
+    if function == "sum":
+        return keys, np.bincount(inverse, weights=values, minlength=len(keys))
+    if function == "mean":
+        totals = np.bincount(inverse, weights=values, minlength=len(keys))
+        counts = np.bincount(inverse, minlength=len(keys))
+        return keys, totals / np.maximum(counts, 1)
+    if function in ("min", "max"):
+        result = np.full(len(keys), np.inf if function == "min" else -np.inf)
+        reducer = np.minimum if function == "min" else np.maximum
+        reducer.at(result, inverse, values)
+        return keys, result
+    raise ValueError(f"unsupported aggregate function {function!r}")
+
+
+def baseline_pivot(table: ColumnTable, row_key: str, column_key: str, value: str):
+    """Seed pivot: gather all three columns, two ``np.unique`` calls, scatter."""
+    selection = np.arange(table.row_count, dtype=np.int64)
+    rows = table.column(row_key).take(selection)
+    cols = table.column(column_key).take(selection)
+    values = table.column(value).take(selection).astype(np.float64)
+    row_labels, row_positions = np.unique(rows, return_inverse=True)
+    column_labels, column_positions = np.unique(cols, return_inverse=True)
+    matrix = np.zeros((len(row_labels), len(column_labels)), dtype=np.float64)
+    matrix[row_positions, column_positions] = values
+    return matrix, row_labels, column_labels
 
 
 def baseline_best_encoding(values: np.ndarray):
@@ -213,7 +247,27 @@ def run_sweep(size: str, rounds: int = 3, seed: int = 7) -> dict:
     np.testing.assert_array_equal(fast_right, slow_right)
     results.append(_entry("join", "int64-keys", n, compressed, baseline))
 
-    # Pivot (no baseline — recorded for the trajectory).
+    # Group-aggregates: codes/runs consumed directly vs decode + np.unique.
+    aggregate_values = rng.random(n)
+    for name, values in columns.items():
+        encoding = _encode_as(name, values)
+        compressed = _best_of(
+            lambda: encoding.group_reduce(aggregate_values, "mean"), rounds
+        )
+        baseline = _best_of(
+            lambda: baseline_group_aggregate(encoding, aggregate_values, "mean"), rounds
+        )
+        fast_keys, fast_aggregates = encoding.group_reduce(aggregate_values, "mean")
+        slow_keys, slow_aggregates = baseline_group_aggregate(
+            encoding, aggregate_values, "mean"
+        )
+        np.testing.assert_array_equal(fast_keys, slow_keys)
+        # RLE folds runs into partial sums, so float means may differ in the
+        # last ulp from the row-order baseline accumulation.
+        np.testing.assert_allclose(fast_aggregates, slow_aggregates, rtol=1e-12)
+        results.append(_entry("aggregate", name, n, compressed, baseline))
+
+    # Pivot: dictionary codes / run structure on both axes vs two np.unique.
     n_patients = max(1, int(np.sqrt(n)))
     n_genes = max(1, n // n_patients)
     pivot_table = ColumnTable.from_arrays(
@@ -230,7 +284,20 @@ def run_sweep(size: str, rounds: int = 3, seed: int = 7) -> dict:
     compressed = _best_of(
         lambda: query.pivot("patient_id", "gene_id", "expression_value"), rounds
     )
-    results.append(_entry("pivot", "mixed", n_patients * n_genes, compressed, None))
+    baseline = _best_of(
+        lambda: baseline_pivot(pivot_table, "patient_id", "gene_id", "expression_value"),
+        rounds,
+    )
+    fast_matrix, fast_rows, fast_cols = query.pivot(
+        "patient_id", "gene_id", "expression_value"
+    )
+    slow_matrix, slow_rows, slow_cols = baseline_pivot(
+        pivot_table, "patient_id", "gene_id", "expression_value"
+    )
+    np.testing.assert_array_equal(fast_matrix, slow_matrix)
+    np.testing.assert_array_equal(fast_rows, slow_rows)
+    np.testing.assert_array_equal(fast_cols, slow_cols)
+    results.append(_entry("pivot", "mixed", n_patients * n_genes, compressed, baseline))
 
     # Load: stats-driven encoding choice vs encode-all-candidates.
     for name, values in columns.items():

@@ -48,6 +48,13 @@ Consequences for the query layer:
   stateless — dictionary/RLE columns evaluate them on distinct values only;
 * ``where``/``where_in`` narrow the selection vector through these pushdowns
   without materialising the filtered column;
+* ``group_aggregate``/``pivot`` push the *grouping* down too: a dictionary
+  column's ``(keys, codes)`` pair is consumed directly (``bincount`` over
+  codes, min/max via one ``ufunc.at`` scatter), RLE runs fold into partial
+  counts/sums/extrema with ``ufunc.reduceat`` and never expand, and a
+  monotone delta column recovers its grouping from a change-point scan —
+  ``np.unique`` over decoded values survives only as the plain-column
+  fallback (see ``distinct_inverse``/``group_reduce``);
 * the equi-join computes aligned position arrays with no per-row Python:
   dense integer keys take a direct-addressing (counting-sort) path, anything
   else an ``argsort`` + ``searchsorted`` sort-merge;
@@ -62,18 +69,22 @@ decode-everything baselines and records the speedups in
 
 from repro.colstore.column import ColumnVector
 from repro.colstore.compression import (
+    AGGREGATE_FUNCTIONS,
     DeltaEncoding,
     DictionaryEncoding,
     PlainEncoding,
     RunLengthEncoding,
     best_encoding,
     encoding_sizes,
+    make_encoding,
+    reduce_by_inverse,
 )
 from repro.colstore.table import ColumnTable
 from repro.colstore.catalog import ColumnStore
 from repro.colstore.query import ColumnQuery, merge_join_positions
 
 __all__ = [
+    "AGGREGATE_FUNCTIONS",
     "ColumnVector",
     "PlainEncoding",
     "RunLengthEncoding",
@@ -81,6 +92,8 @@ __all__ = [
     "DeltaEncoding",
     "best_encoding",
     "encoding_sizes",
+    "make_encoding",
+    "reduce_by_inverse",
     "ColumnTable",
     "ColumnStore",
     "ColumnQuery",

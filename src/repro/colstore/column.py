@@ -8,7 +8,11 @@ from repro.colstore.compression import (
     Encoding,
     PlainEncoding,
     best_encoding,
+    make_encoding,
     predicate_mask,
+    reduce_by_inverse,
+    sorted_distinct,
+    sorted_distinct_inverse,
 )
 
 
@@ -21,7 +25,8 @@ class ColumnVector:
     column-store buffer-pool behaviour).
     """
 
-    def __init__(self, name: str, values: np.ndarray, compress: bool = True):
+    def __init__(self, name: str, values: np.ndarray, compress: bool = True,
+                 encoding: str | None = None):
         if not name:
             raise ValueError("column name must be non-empty")
         self.name = name
@@ -30,7 +35,9 @@ class ColumnVector:
             raise ValueError("a column must be one-dimensional")
         self.dtype = values.dtype
         self._encoding: Encoding
-        if compress:
+        if encoding is not None:
+            self._encoding = make_encoding(encoding, values)
+        elif compress:
             self._encoding = best_encoding(values)
         else:
             self._encoding = PlainEncoding()
@@ -101,6 +108,71 @@ class ColumnVector:
         if self._encoding.supports_distinct_pushdown:
             return self._encoding.isin(values)
         return np.isin(self.values(), values)
+
+    def distinct_inverse(
+        self, selection: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted distinct values and per-row group codes (``np.unique`` contract).
+
+        Restricted to ``selection`` when given.  Dictionary/RLE columns
+        answer from their codes/runs without decoding.  Other encodings
+        group the decoded values — a whole-column grouping decodes through
+        the column cache (so repeated aggregations pay the decode once), and
+        a monotone delta column keeps its linear change-point scan over the
+        cached values.  Key and code values match
+        ``np.unique(..., return_inverse=True)`` exactly, though the code
+        dtype may be narrower; the arrays may alias column state — treat
+        them as read-only.
+        """
+        if self._encoding.supports_distinct_pushdown:
+            return self._encoding.distinct_inverse(selection)
+        if selection is not None:
+            if self._cache is not None:
+                return np.unique(self._cache[np.asarray(selection)], return_inverse=True)
+            # Narrow selections gather via the encoding without a full decode.
+            return self._encoding.distinct_inverse(selection)
+        values = self.values()  # decode once, populate the cache
+        if getattr(self._encoding, "is_monotone", False):
+            return sorted_distinct_inverse(values)
+        return np.unique(values, return_inverse=True)
+
+    def distinct_values(self, selection: np.ndarray | None = None) -> np.ndarray:
+        """Sorted distinct values only — skips the inverse entirely.
+
+        RLE answers from its run values, dictionary from its (compacted)
+        dictionary; same cache behaviour and read-only aliasing caveat as
+        :meth:`distinct_inverse`.
+        """
+        if self._encoding.supports_distinct_pushdown:
+            return self._encoding.distinct_values(selection)
+        if selection is not None:
+            if self._cache is not None:
+                return np.unique(self._cache[np.asarray(selection)])
+            return self._encoding.distinct_values(selection)
+        values = self.values()  # decode once, populate the cache
+        if getattr(self._encoding, "is_monotone", False):
+            return sorted_distinct(values)
+        return np.unique(values)
+
+    def group_reduce(
+        self,
+        values: np.ndarray | None,
+        function: str,
+        selection: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Grouped reduction of ``values`` keyed by this column.
+
+        ``values`` must be aligned with the grouped rows (the whole column,
+        or ``selection`` when given); for ``count`` they are never read and
+        may be None.  Dictionary columns aggregate straight over their
+        stored codes; RLE columns fold whole runs into partial
+        counts/sums/extrema; everything else groups via
+        :meth:`distinct_inverse` (cache-aware).
+        """
+        if self._encoding.supports_distinct_pushdown:
+            return self._encoding.group_reduce(values, function, selection)
+        keys, inverse = self.distinct_inverse(selection)
+        return keys, reduce_by_inverse(inverse, len(keys), values, function)
 
     def appended(self, values: np.ndarray) -> "ColumnVector":
         """Return a new column with ``values`` appended (columns are immutable)."""

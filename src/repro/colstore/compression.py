@@ -21,7 +21,15 @@ materialising the full column:
 * ``filter_mask(predicate)`` evaluates a vectorised element-wise predicate —
   for dictionary/RLE columns on the *distinct values only* — and expands the
   result through the codes/runs into a full-length boolean mask,
-* ``isin(values)`` pushes membership tests down the same way.
+* ``isin(values)`` pushes membership tests down the same way,
+* ``distinct_inverse(positions)`` produces the ``(keys, inverse)`` pair that
+  ``np.unique(..., return_inverse=True)`` would compute — a dictionary
+  column already *is* that pair, an RLE column derives it from its run
+  values, a monotone delta column from a change-point scan — and
+* ``group_reduce(values, function, positions)`` runs a grouped reduction
+  (count/sum/mean/min/max) keyed by the column: dictionary aggregates with
+  ``bincount`` over the stored codes, RLE folds whole runs into partial
+  counts/sums/extrema via ``ufunc.reduceat`` without ever expanding them.
 
 Predicates handed to ``filter_mask`` must be element-wise and stateless:
 the encoding may invoke them on the distinct values rather than the full
@@ -50,6 +58,78 @@ def _normalised_indices(indices: np.ndarray, length: int) -> np.ndarray:
     if indices.size and indices.min() < 0:
         indices = np.where(indices < 0, indices + length, indices)
     return indices
+
+
+#: Grouped reductions every ``group_reduce`` implementation must support.
+AGGREGATE_FUNCTIONS = ("mean", "sum", "count", "min", "max")
+
+
+def reduce_by_inverse(
+    inverse: np.ndarray, n_groups: int, values: np.ndarray | None, function: str
+) -> np.ndarray:
+    """Grouped reduction of ``values`` keyed by precomputed group codes.
+
+    ``inverse`` assigns each row to one of ``n_groups`` groups (the
+    ``np.unique(..., return_inverse=True)`` contract, but any non-negative
+    integer codes work — dictionary codes go in unchanged).  ``count``
+    never reads ``values``, which may then be None.
+    """
+    if function == "count":
+        return np.bincount(inverse, minlength=n_groups).astype(np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if function == "sum":
+        return np.bincount(inverse, weights=values, minlength=n_groups)
+    if function == "mean":
+        totals = np.bincount(inverse, weights=values, minlength=n_groups)
+        counts = np.bincount(inverse, minlength=n_groups)
+        return totals / np.maximum(counts, 1)
+    if function in ("min", "max"):
+        result = np.full(n_groups, np.inf if function == "min" else -np.inf)
+        reducer = np.minimum if function == "min" else np.maximum
+        reducer.at(result, inverse, values)
+        return result
+    raise ValueError(f"unsupported aggregate function {function!r}")
+
+
+def sorted_distinct(values: np.ndarray) -> np.ndarray:
+    """``np.unique(values)`` for already-sorted input: a change-point scan."""
+    if not values.size:
+        return np.unique(values)
+    change_points = np.flatnonzero(values[1:] != values[:-1]) + 1
+    return values[np.concatenate([[0], change_points])]
+
+
+def sorted_distinct_inverse(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(values, return_inverse=True)`` for already-sorted input.
+
+    A change-point scan replaces the sort: O(n) instead of O(n log n), with
+    bit-identical output (distinct values of a sorted array are already in
+    ascending order).
+    """
+    if not values.size:
+        return np.unique(values, return_inverse=True)
+    change_points = np.flatnonzero(values[1:] != values[:-1]) + 1
+    starts = np.concatenate([[0], change_points])
+    ends = np.concatenate([change_points, [len(values)]])
+    inverse = np.repeat(np.arange(len(starts), dtype=np.intp), ends - starts)
+    return values[starts], inverse
+
+
+def _compact_distinct(
+    keys: np.ndarray, codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop distinct entries with no surviving rows, remapping the codes.
+
+    A narrowed selection may miss some dictionary entries / run values
+    entirely; ``np.unique`` over the gathered rows would not list them, so
+    neither may the pushed-down result.
+    """
+    counts = np.bincount(codes, minlength=len(keys))
+    present = counts > 0
+    if present.all():
+        return keys, codes
+    remap = np.cumsum(present) - 1
+    return keys[present], remap[codes]
 
 
 class Encoding:
@@ -92,6 +172,43 @@ class Encoding:
         """Full-length boolean membership mask."""
         return np.isin(self.decode(), values)
 
+    def distinct_inverse(
+        self, positions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted distinct values and per-row group codes.
+
+        Equivalent to ``np.unique(column[positions], return_inverse=True)``
+        (whole column when ``positions`` is None).  Key and code *values*
+        match ``np.unique`` exactly; the code dtype may be narrower (e.g. a
+        dictionary column hands back its stored codes).  Returned arrays may
+        alias encoding state — treat them as read-only.
+        """
+        values = self.decode() if positions is None else self.take(positions)
+        return np.unique(values, return_inverse=True)
+
+    def distinct_values(self, positions: np.ndarray | None = None) -> np.ndarray:
+        """Sorted distinct values only — no inverse materialisation.
+
+        Same aliasing caveat as :meth:`distinct_inverse`.
+        """
+        return self.distinct_inverse(positions)[0]
+
+    def group_reduce(
+        self,
+        values: np.ndarray | None,
+        function: str,
+        positions: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Grouped reduction of ``values`` keyed by this column's values.
+
+        ``values`` must be aligned with the grouped rows: full column length
+        when ``positions`` is None, else one value per position.  For
+        ``count`` the values are never read and may be None.  Returns
+        ``(group_keys, aggregates)`` with keys sorted ascending.
+        """
+        keys, inverse = self.distinct_inverse(positions)
+        return keys, reduce_by_inverse(inverse, len(keys), values, function)
+
 
 @dataclass
 class PlainEncoding(Encoding):
@@ -130,6 +247,14 @@ class PlainEncoding(Encoding):
         if self._values is None:
             return np.empty(0, dtype=bool)
         return np.isin(self._values, values)
+
+    def distinct_inverse(
+        self, positions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._values is None:
+            return np.unique(np.empty(0), return_inverse=True)
+        values = self._values if positions is None else self._values[np.asarray(positions)]
+        return np.unique(values, return_inverse=True)
 
 
 @dataclass
@@ -196,6 +321,62 @@ class RunLengthEncoding(Encoding):
         if self._run_values is None:
             return np.empty(0, dtype=bool)
         return np.repeat(np.isin(self._run_values, values), self._run_lengths)
+
+    def distinct_inverse(
+        self, positions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._run_values is None:
+            return np.unique(np.empty(0), return_inverse=True)
+        run_keys, run_codes = np.unique(self._run_values, return_inverse=True)
+        if positions is None:
+            # Every run is non-empty, so every run value survives.
+            return run_keys, np.repeat(run_codes, self._run_lengths)
+        positions = _normalised_indices(positions, self._length)
+        run_index = np.searchsorted(self._cumulative_run_ends(), positions, side="right")
+        return _compact_distinct(run_keys, run_codes[run_index])
+
+    def distinct_values(self, positions: np.ndarray | None = None) -> np.ndarray:
+        """Keys-only path: unique run values, no n-length inverse expansion."""
+        if positions is not None or self._run_values is None:
+            return super().distinct_values(positions)
+        return np.unique(self._run_values)
+
+    def group_reduce(
+        self,
+        values: np.ndarray | None,
+        function: str,
+        positions: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold whole runs into partial counts/sums/extrema — no expansion.
+
+        Per-run partials come from ``ufunc.reduceat`` at the run starts
+        (counts are the stored run lengths verbatim), then collapse onto the
+        distinct run values, so the work after one O(n) pass over ``values``
+        is proportional to the run count, not the row count.
+        """
+        if positions is not None or self.run_count == 0:
+            return super().group_reduce(values, function, positions)
+        if function not in AGGREGATE_FUNCTIONS:
+            raise ValueError(f"unsupported aggregate function {function!r}")
+        run_keys, run_codes = np.unique(self._run_values, return_inverse=True)
+        n_groups = len(run_keys)
+        lengths = self._run_lengths
+        if function == "count":
+            return run_keys, np.bincount(run_codes, weights=lengths, minlength=n_groups)
+        values = np.asarray(values, dtype=np.float64)
+        starts = self._cumulative_run_ends() - lengths
+        if function in ("sum", "mean"):
+            run_sums = np.add.reduceat(values, starts)
+            totals = np.bincount(run_codes, weights=run_sums, minlength=n_groups)
+            if function == "sum":
+                return run_keys, totals
+            counts = np.bincount(run_codes, weights=lengths, minlength=n_groups)
+            return run_keys, totals / np.maximum(counts, 1)
+        reducer = np.minimum if function == "min" else np.maximum
+        per_run = reducer.reduceat(values, starts)
+        result = np.full(n_groups, np.inf if function == "min" else -np.inf)
+        reducer.at(result, run_codes, per_run)
+        return run_keys, result
 
     def encoded_bytes(self) -> int:
         if self._run_values is None:
@@ -268,6 +449,21 @@ class DictionaryEncoding(Encoding):
         if self._dictionary is None or self._codes is None:
             return np.empty(0, dtype=bool)
         return self._expand_distinct_mask(np.isin(self._dictionary, values))
+
+    def distinct_inverse(
+        self, positions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The stored ``(dictionary, codes)`` pair *is* the unique/inverse.
+
+        The dictionary is sorted and deduplicated by construction, so the
+        whole-column case costs nothing; a narrowed selection gathers its
+        codes and drops dictionary entries no surviving row references.
+        """
+        if self._dictionary is None or self._codes is None:
+            return np.unique(np.empty(0), return_inverse=True)
+        if positions is None:
+            return self._dictionary, self._codes
+        return _compact_distinct(self._dictionary, self._codes[np.asarray(positions)])
 
     def _expand_distinct_mask(self, distinct_mask: np.ndarray) -> np.ndarray:
         """Expand a per-distinct-value verdict to a full-length row mask.
@@ -360,6 +556,28 @@ class DeltaEncoding(Encoding):
         )
         return window[indices - low].astype(self._dtype)
 
+    @property
+    def is_monotone(self) -> bool:
+        """True when every delta is ≥ 0, i.e. the column decodes sorted."""
+        if self._first is None:
+            return False
+        return len(self._deltas) == 0 or int(self._deltas.min()) >= 0
+
+    def distinct_inverse(
+        self, positions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Monotone columns (all deltas ≥ 0) decode already sorted, so the
+        distinct values fall out of a change-point scan instead of the sort
+        ``np.unique`` would run."""
+        if positions is not None or not self.is_monotone:
+            return super().distinct_inverse(positions)
+        return sorted_distinct_inverse(self.decode())
+
+    def distinct_values(self, positions: np.ndarray | None = None) -> np.ndarray:
+        if positions is not None or not self.is_monotone:
+            return super().distinct_values(positions)
+        return sorted_distinct(self.decode())
+
 
 def _dictionary_code_bytes(cardinality: int) -> int:
     """Per-code width the dictionary encoding would use (mirrors its encode)."""
@@ -450,6 +668,18 @@ _ENCODING_CLASSES: dict[str, type[Encoding]] = {
 
 # Tie-break order: simpler encodings win equal footprints.
 _ENCODING_PRECEDENCE = ("plain", "rle", "dictionary", "delta")
+
+
+def make_encoding(name: str, values: np.ndarray) -> Encoding:
+    """Build a specific encoding by name (tests/benchmarks force one this way)."""
+    try:
+        encoding = _ENCODING_CLASSES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown encoding {name!r}; choose from {sorted(_ENCODING_CLASSES)}"
+        ) from None
+    encoding.encode(np.asarray(values))
+    return encoding
 
 
 def best_encoding(values: np.ndarray) -> Encoding:

@@ -17,6 +17,23 @@ only and expand the verdicts through codes/runs
 must be element-wise and stateless.  The equi-join is a vectorised
 sort-merge (``argsort`` + ``searchsorted`` position arrays) rather than an
 interpreted hash loop.
+
+Aggregation pushes down the encodings the same way.  ``group_aggregate``
+never re-derives the grouping with ``np.unique``: a dictionary-encoded
+group column already stores the ``(keys, inverse)`` pair, so count/sum/mean
+run as ``bincount`` over the codes and min/max as one ``ufunc.at`` scatter
+of per-code partials; an RLE group column folds whole runs into partial
+counts/sums/extrema (``ufunc.reduceat`` at run starts) without expansion; a
+monotone delta column recovers the grouping from a change-point scan.
+``pivot`` reuses the same ``distinct_inverse`` surface for both axes
+instead of two ``np.unique`` calls, scattering values through the stored
+codes.  Narrowed selections gather the codes and compact away group keys
+with no surviving rows.  Results match aggregating the decoded, gathered
+column exactly — bit-identical keys always, and bit-identical aggregates
+for count/min/max and for any exactly-representable values — with one
+caveat: RLE run folding reassociates floating-point addition, so sum/mean
+over non-integer float values can differ from the row-order accumulation
+in the last ulps.
 """
 
 from __future__ import annotations
@@ -156,10 +173,16 @@ class ColumnQuery:
         round trip); keys are deduplicated before the membership test and
         the test itself is pushed down the column's encoding.
         """
+        vector = self.table.column(column)  # unknown names must raise either way
         if not isinstance(values, np.ndarray):
             values = np.asarray(list(values))
+        if values.size == 0:
+            # An empty key set selects nothing.  Short-circuit before the
+            # float64 dtype that ``np.asarray([])`` defaults to can poison
+            # the membership comparison against string/int columns.
+            return ColumnQuery(self.table, np.empty(0, dtype=np.int64))
         lookup = np.unique(values)
-        return self._narrowed(self.table.column(column).isin(lookup))
+        return self._narrowed(vector.isin(lookup))
 
     def sample(self, fraction: float, seed: int = 0) -> "ColumnQuery":
         """Keep a deterministic random sample of the current selection."""
@@ -178,6 +201,20 @@ class ColumnQuery:
     def column(self, name: str) -> np.ndarray:
         """Materialise one column restricted to the current selection."""
         return self.table.column(name).take(self.selection)
+
+    def distinct(self, name: str) -> np.ndarray:
+        """Sorted distinct values of ``name`` within the current selection.
+
+        Pushed down the encoding: a dictionary column answers from its
+        (compacted) dictionary, RLE from its run values — no decode, no
+        ``np.unique`` sort, no inverse materialisation.  Returns a fresh
+        array the caller may mutate.
+        """
+        selection = None if self._full_selection else self.selection
+        keys = self.table.column(name).distinct_values(selection)
+        # distinct_values may hand back encoding state (the dictionary
+        # itself); at this public layer, never leak a mutable alias.
+        return keys.copy()
 
     def columns(self, names: Sequence[str]) -> dict[str, np.ndarray]:
         """Materialise several columns restricted to the current selection."""
@@ -252,26 +289,23 @@ class ColumnQuery:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised GROUP BY returning ``(group_keys, aggregated_values)``.
 
-        Supported functions: mean, sum, count, min, max.
+        Supported functions: mean, sum, count, min, max.  The grouping is
+        pushed down the group column's encoding (codes/runs consumed
+        directly — see the module docstring) rather than re-derived with
+        ``np.unique`` over decoded values.
         """
-        groups = self.column(group_column)
-        values = self.column(value_column).astype(np.float64)
-        keys, inverse = np.unique(groups, return_inverse=True)
+        value_vector = self.table.column(value_column)  # validate even for count
         if function == "count":
-            return keys, np.bincount(inverse, minlength=len(keys)).astype(np.float64)
-        if function == "sum":
-            return keys, np.bincount(inverse, weights=values, minlength=len(keys))
-        if function == "mean":
-            totals = np.bincount(inverse, weights=values, minlength=len(keys))
-            counts = np.bincount(inverse, minlength=len(keys))
-            return keys, totals / np.maximum(counts, 1)
-        if function in ("min", "max"):
-            result = np.full(len(keys), np.inf if function == "min" else -np.inf)
-            reducer = np.minimum if function == "min" else np.maximum
-            np_function = reducer.at
-            np_function(result, inverse, values)
-            return keys, result
-        raise ValueError(f"unsupported aggregate function {function!r}")
+            values = None  # count never reads the values: stay fully compressed
+        else:
+            values = value_vector.take(self.selection).astype(np.float64)
+        selection = None if self._full_selection else self.selection
+        keys, aggregates = self.table.column(group_column).group_reduce(
+            values, function, selection
+        )
+        # The keys may alias encoding state (a dictionary column hands back
+        # its dictionary); never leak a mutable alias from the query layer.
+        return keys.copy(), aggregates
 
     # -- pivot -------------------------------------------------------------------------
 
@@ -279,13 +313,18 @@ class ColumnQuery:
         """Pivot the selected rows into a dense matrix.
 
         Returns ``(matrix, row_labels, column_labels)``; labels are the
-        sorted distinct key values and missing cells are 0.
+        sorted distinct key values and missing cells are 0.  Both axes reuse
+        the key columns' stored dictionary codes / run structure
+        (:meth:`~repro.colstore.column.ColumnVector.distinct_inverse`)
+        instead of two ``np.unique`` calls.  Duplicate ``(row, column)``
+        pairs resolve last-write-wins, in selection order.
         """
-        rows = self.column(row_key)
-        cols = self.column(column_key)
         values = self.column(value).astype(np.float64)
-        row_labels, row_positions = np.unique(rows, return_inverse=True)
-        column_labels, column_positions = np.unique(cols, return_inverse=True)
+        selection = None if self._full_selection else self.selection
+        row_labels, row_positions = self.table.column(row_key).distinct_inverse(selection)
+        column_labels, column_positions = self.table.column(column_key).distinct_inverse(selection)
         matrix = np.zeros((len(row_labels), len(column_labels)), dtype=np.float64)
         matrix[row_positions, column_positions] = values
-        return matrix, row_labels, column_labels
+        # Labels may alias encoding state (the dictionary itself); the
+        # positions stay internal, but the labels leave the query layer.
+        return matrix, row_labels.copy(), column_labels.copy()

@@ -184,7 +184,7 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
         with timer.data_management():
             patient_ids = (
                 self.store.query("patients")
-                .where("disease_id", lambda v: np.isin(v, diseases))
+                .where_in("disease_id", diseases)
                 .column("patient_id")
             )
             matrix, _patients, gene_labels = self._pivot_patient_filter(patient_ids)
@@ -255,14 +255,22 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         sampled = statistics_patient_ids(self.dataset, parameters)
         with timer.data_management():
-            matrix, _patients, gene_labels = self._pivot_patient_filter(sampled)
-            gene_scores = self._gene_scores(matrix)
+            sampled_rows = self._microarray_for_patients(sampled)
+            # The statistics query needs no pivot matrix at all: the per-gene
+            # score (mean expression over the sampled patients) is a
+            # compressed group-aggregate whose keys are the sorted distinct
+            # gene ids the pivot's column labels used to provide, and the
+            # sampled-patient count is a distinct count on the same rows.
+            gene_labels, gene_scores = sampled_rows.group_aggregate(
+                "gene_id", "expression_value", "mean"
+            )
+            patient_labels = sampled_rows.distinct("patient_id")
             membership = self._membership_matrix(np.asarray(gene_labels, dtype=np.int64))
         result = self._analytics_statistics(gene_scores, membership, parameters, timer)
         return QueryOutput(
             query="statistics",
             summary={
-                "n_sampled_patients": int(matrix.shape[0]),
+                "n_sampled_patients": int(len(patient_labels)),
                 "n_terms": int(len(result.go_ids)),
                 "n_significant": int(result.significant.sum()),
             },

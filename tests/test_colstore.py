@@ -341,6 +341,27 @@ class TestColumnQuery:
         assert np.all(np.isin(chained.column("gene_id"), [0, 1]))
         assert np.all(chained.column("expression_value") > 0)
 
+    def test_where_in_empty_values_returns_empty_selection(self, store):
+        """Regression: an empty key list used to build a float64 lookup whose
+        dtype clashed with string/int columns; it must short-circuit instead."""
+        table = ColumnTable.from_arrays(
+            "mixed",
+            {
+                "label": np.array(["a", "b", "a", "c"] * 25),
+                "count": np.arange(100, dtype=np.int64),
+            },
+        )
+        for column, empty in (("label", []), ("count", []), ("count", iter(()))):
+            query = ColumnQuery(table).where_in(column, empty)
+            assert len(query) == 0
+            assert query.selection.dtype == np.int64
+        # Also after a narrowing filter, and with an empty ndarray.
+        narrowed = ColumnQuery(table).where("count", lambda v: v > 10)
+        assert len(narrowed.where_in("label", np.array([], dtype=np.float64))) == 0
+        # An unknown column still raises even when the key set is empty.
+        with pytest.raises(KeyError):
+            ColumnQuery(table).where_in("missing", [])
+
     def test_where_predicate_shape_check(self, store):
         with pytest.raises(ValueError):
             store.query("genes").where("function", lambda v: np.array([True]))
@@ -394,6 +415,141 @@ class TestColumnQuery:
         np.testing.assert_allclose(minimums, tiny_dataset.expression_matrix.min(axis=0), atol=1e-12)
         with pytest.raises(ValueError):
             store.query("microarray").group_aggregate("gene_id", "expression_value", "median")
+
+
+ENCODING_NAMES = ("plain", "rle", "dictionary", "delta")
+
+
+class TestAggregationPushdown:
+    """Aggregation on narrowed selections, forced through every encoding."""
+
+    def _table(self, encoding_name: str) -> ColumnTable:
+        rng = np.random.default_rng(42)
+        n = 400
+        groups = np.sort(rng.integers(0, 12, n))  # sorted: valid for delta too
+        others = rng.integers(0, 5, n)
+        values = rng.integers(-50, 50, n).astype(np.float64)
+        return ColumnTable(
+            "t",
+            [
+                ColumnVector("g", groups, encoding=encoding_name),
+                ColumnVector("c", others),
+                ColumnVector("v", values),
+            ],
+        )
+
+    @staticmethod
+    def _reference_aggregate(groups, values, function):
+        keys, inverse = np.unique(groups, return_inverse=True)
+        if function == "min":
+            result = np.full(len(keys), np.inf)
+            np.minimum.at(result, inverse, values)
+        else:
+            result = np.full(len(keys), -np.inf)
+            np.maximum.at(result, inverse, values)
+        return keys, result
+
+    @pytest.mark.parametrize("encoding_name", ENCODING_NAMES)
+    @pytest.mark.parametrize("function", ["min", "max"])
+    def test_group_aggregate_min_max_on_narrowed_selection(self, encoding_name, function):
+        table = self._table(encoding_name)
+        query = ColumnQuery(table).where("v", lambda v: v > 0)
+        assert 0 < len(query) < table.row_count  # genuinely narrowed
+        keys, aggregates = query.group_aggregate("g", "v", function)
+        expected_keys, expected = self._reference_aggregate(
+            query.column("g"), query.column("v"), function
+        )
+        np.testing.assert_array_equal(keys, expected_keys)
+        np.testing.assert_array_equal(aggregates, expected)
+
+    @pytest.mark.parametrize("encoding_name", ENCODING_NAMES)
+    def test_pivot_on_narrowed_selection(self, encoding_name):
+        table = self._table(encoding_name)
+        query = ColumnQuery(table).where("v", lambda v: v <= 0)
+        assert 0 < len(query) < table.row_count
+        matrix, row_labels, column_labels = query.pivot("g", "c", "v")
+        rows, cols, values = query.column("g"), query.column("c"), query.column("v")
+        expected_rows, row_positions = np.unique(rows, return_inverse=True)
+        expected_cols, column_positions = np.unique(cols, return_inverse=True)
+        expected = np.zeros((len(expected_rows), len(expected_cols)))
+        expected[row_positions, column_positions] = values
+        np.testing.assert_array_equal(row_labels, expected_rows)
+        np.testing.assert_array_equal(column_labels, expected_cols)
+        np.testing.assert_array_equal(matrix, expected)
+
+    @pytest.mark.parametrize("encoding_name", ENCODING_NAMES)
+    def test_pivot_duplicate_cells_are_last_write_wins(self, encoding_name):
+        """Duplicate (row, column) pairs keep the *last* value in selection
+        order — documented behaviour, pinned per encoding."""
+        rows = np.array([0, 0, 1, 0], dtype=np.int64)
+        cols = np.array([2, 2, 3, 3], dtype=np.int64)
+        values = np.array([1.0, 7.5, 3.0, 4.25])
+        table = ColumnTable(
+            "dup",
+            [
+                ColumnVector("r", rows, encoding=encoding_name),
+                ColumnVector("c", cols),
+                ColumnVector("v", values),
+            ],
+        )
+        matrix, row_labels, column_labels = ColumnQuery(table).pivot("r", "c", "v")
+        np.testing.assert_array_equal(row_labels, [0, 1])
+        np.testing.assert_array_equal(column_labels, [2, 3])
+        # (0, 2) appears twice: 1.0 then 7.5 — the later row wins.
+        np.testing.assert_array_equal(matrix, [[7.5, 4.25], [0.0, 3.0]])
+
+    @pytest.mark.parametrize("encoding_name", ENCODING_NAMES)
+    def test_returned_keys_are_safe_to_mutate(self, encoding_name):
+        """group_aggregate/pivot/distinct must never leak a mutable alias of
+        encoding state (the dictionary itself) out of the query layer."""
+        table = self._table(encoding_name)
+        original = table.column("g").values().copy()
+        query = ColumnQuery(table)
+        keys, _ = query.group_aggregate("g", "v", "count")
+        keys += 100
+        matrix, row_labels, column_labels = query.pivot("g", "c", "v")
+        row_labels += 100
+        column_labels += 100
+        query.distinct("g")[:] = -1
+        np.testing.assert_array_equal(table.column("g").values(), original)
+        np.testing.assert_array_equal(
+            query.group_aggregate("g", "v", "count")[0], np.unique(original)
+        )
+
+    @pytest.mark.parametrize("encoding_name", ENCODING_NAMES)
+    def test_count_needs_no_values(self, encoding_name):
+        """count never reads the value column: group_reduce accepts None."""
+        table = self._table(encoding_name)
+        keys, counts = table.column("g").group_reduce(None, "count")
+        expected_keys, expected_inverse = np.unique(
+            table.column("g").values(), return_inverse=True
+        )
+        np.testing.assert_array_equal(keys, expected_keys)
+        np.testing.assert_array_equal(
+            counts, np.bincount(expected_inverse, minlength=len(expected_keys))
+        )
+
+    @pytest.mark.parametrize("encoding_name", ENCODING_NAMES)
+    def test_distinct_matches_unique(self, encoding_name):
+        table = self._table(encoding_name)
+        full = ColumnQuery(table)
+        np.testing.assert_array_equal(
+            full.distinct("g"), np.unique(full.column("g"))
+        )
+        narrowed = full.where("v", lambda v: v > 0)
+        np.testing.assert_array_equal(
+            narrowed.distinct("g"), np.unique(narrowed.column("g"))
+        )
+
+    @pytest.mark.parametrize("encoding_name", ENCODING_NAMES)
+    def test_narrowed_selection_drops_absent_group_keys(self, encoding_name):
+        table = self._table(encoding_name)
+        # Narrow to one group value: every other key must vanish, exactly as
+        # np.unique over the gathered rows would report.
+        query = ColumnQuery(table).where("g", lambda v: v == 3)
+        keys, counts = query.group_aggregate("g", "v", "count")
+        np.testing.assert_array_equal(keys, [3])
+        assert counts[0] == len(query)
 
 
 class TestColumnStoreCatalog:

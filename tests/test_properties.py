@@ -238,6 +238,108 @@ class TestCompressedExecutionProperties:
 
 
 # ---------------------------------------------------------------------------- #
+# Aggregation push-down: compressed grouping must be bit-identical to
+# aggregating the plain, decoded (and gathered) column.
+# ---------------------------------------------------------------------------- #
+
+def _aggregate_reference(groups, values, function):
+    """The seed GROUP BY: np.unique over decoded values + bincount/ufunc.at."""
+    keys, inverse = np.unique(groups, return_inverse=True)
+    if function == "count":
+        return keys, np.bincount(inverse, minlength=len(keys)).astype(np.float64)
+    if function == "sum":
+        return keys, np.bincount(inverse, weights=values, minlength=len(keys))
+    if function == "mean":
+        totals = np.bincount(inverse, weights=values, minlength=len(keys))
+        counts = np.bincount(inverse, minlength=len(keys))
+        return keys, totals / np.maximum(counts, 1)
+    result = np.full(len(keys), np.inf if function == "min" else -np.inf)
+    reducer = np.minimum if function == "min" else np.maximum
+    reducer.at(result, inverse, values)
+    return keys, result
+
+
+class TestAggregationPushdownProperties:
+    @given(encodable_int_arrays, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_inverse_matches_unique(self, values, data):
+        positions = _indices_for(data.draw, len(values))
+        for encoding_class in ALL_ENCODINGS:
+            encoding = encoding_class()
+            encoding.encode(values)
+            for selection, selected in ((None, values), (positions, values[positions])):
+                keys, inverse = encoding.distinct_inverse(selection)
+                expected_keys, expected_inverse = np.unique(selected, return_inverse=True)
+                np.testing.assert_array_equal(
+                    keys, expected_keys,
+                    err_msg=f"distinct keys mismatch for {encoding.name}",
+                )
+                np.testing.assert_array_equal(
+                    inverse, expected_inverse,
+                    err_msg=f"inverse mismatch for {encoding.name}",
+                )
+
+    @given(encodable_int_arrays, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_group_reduce_bit_identical_to_plain_decode(self, groups, data):
+        # Integer-valued floats keep every intermediate sum exact, so run
+        # folding (RLE) and code-order accumulation (dictionary) must land on
+        # bit-identical aggregates, not merely close ones.
+        values = data.draw(
+            hnp.arrays(
+                dtype=np.float64,
+                shape=st.just(len(groups)),
+                elements=st.integers(-1000, 1000).map(float),
+            )
+        )
+        positions = _indices_for(data.draw, len(groups))
+        for encoding_class in ALL_ENCODINGS:
+            encoding = encoding_class()
+            encoding.encode(groups)
+            for function in ("count", "sum", "mean", "min", "max"):
+                for selection, grouped, reduced in (
+                    (None, groups, values),
+                    (positions, groups[positions], values[positions]),
+                ):
+                    keys, aggregates = encoding.group_reduce(reduced, function, selection)
+                    expected_keys, expected = _aggregate_reference(grouped, reduced, function)
+                    np.testing.assert_array_equal(
+                        keys, expected_keys,
+                        err_msg=f"group keys mismatch for {encoding.name}/{function}",
+                    )
+                    np.testing.assert_array_equal(
+                        aggregates, expected,
+                        err_msg=f"aggregate mismatch for {encoding.name}/{function}",
+                    )
+
+    @given(encodable_int_arrays, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_query_aggregate_compressed_equals_uncompressed(self, groups, data):
+        values = data.draw(
+            hnp.arrays(
+                dtype=np.float64,
+                shape=st.just(len(groups)),
+                elements=st.integers(-1000, 1000).map(float),
+            )
+        )
+        threshold = data.draw(st.integers(-1000, 1000))
+        arrays = {"g": groups, "c": groups % 7 if len(groups) else groups, "v": values}
+        compressed = ColumnQuery(ColumnTable.from_arrays("c", arrays, compress=True))
+        plain = ColumnQuery(ColumnTable.from_arrays("p", arrays, compress=False))
+        for narrow in (lambda q: q, lambda q: q.where("g", lambda v: v < threshold)):
+            left, right = narrow(compressed), narrow(plain)
+            for function in ("count", "sum", "mean", "min", "max"):
+                fast = left.group_aggregate("g", "v", function)
+                slow = right.group_aggregate("g", "v", function)
+                np.testing.assert_array_equal(fast[0], slow[0])
+                np.testing.assert_array_equal(fast[1], slow[1])
+            fast_pivot = left.pivot("g", "c", "v")
+            slow_pivot = right.pivot("g", "c", "v")
+            for fast_part, slow_part in zip(fast_pivot, slow_pivot):
+                np.testing.assert_array_equal(fast_part, slow_part)
+
+
+# ---------------------------------------------------------------------------- #
 # Numerical kernels
 # ---------------------------------------------------------------------------- #
 
