@@ -38,8 +38,9 @@ from repro.colstore.compression import (
     RunLengthEncoding,
     best_encoding,
 )
-from repro.colstore.query import merge_join_positions
+from repro.colstore.query import ColumnQuery, merge_join_positions
 from repro.colstore.table import ColumnTable
+from repro.plan import col
 
 SIZES = {"tiny": 10_000, "small": 100_000, "medium": 1_000_000}
 
@@ -125,6 +126,23 @@ def baseline_pivot(table: ColumnTable, row_key: str, column_key: str, value: str
     matrix = np.zeros((len(row_labels), len(column_labels)), dtype=np.float64)
     matrix[row_positions, column_positions] = values
     return matrix, row_labels, column_labels
+
+
+def baseline_filter_chain(table: ColumnTable, steps) -> np.ndarray:
+    """The eager-chain baseline the lazy plan API replaced.
+
+    Every predicate computes a *full-column* mask through the encoding
+    (the pre-plan ``ColumnQuery.where`` semantics), in the order written —
+    no selectivity reordering, no narrowed evaluation.
+    """
+    selection = None
+    for column, predicate in steps:
+        mask = table.column(column).filter_mask(predicate)
+        if selection is None:
+            selection = np.flatnonzero(mask).astype(np.int64)
+        else:
+            selection = selection[mask[selection]]
+    return selection
 
 
 def baseline_best_encoding(values: np.ndarray):
@@ -278,8 +296,6 @@ def run_sweep(size: str, rounds: int = 3, seed: int = 7) -> dict:
             "expression_value": rng.random(n_patients * n_genes),
         },
     )
-    from repro.colstore.query import ColumnQuery
-
     query = ColumnQuery(pivot_table)
     compressed = _best_of(
         lambda: query.pivot("patient_id", "gene_id", "expression_value"), rounds
@@ -298,6 +314,44 @@ def run_sweep(size: str, rounds: int = 3, seed: int = 7) -> dict:
     np.testing.assert_array_equal(fast_rows, slow_rows)
     np.testing.assert_array_equal(fast_cols, slow_cols)
     results.append(_entry("pivot", "mixed", n_patients * n_genes, compressed, baseline))
+
+    # Filter chain: a 3-predicate conjunction through the lazy plan API
+    # (conjunction splitting + selectivity-ordered pushdown: the equality
+    # runs first over the full column, the two unselective range predicates
+    # then evaluate on the narrowed selection only) vs the eager chain that
+    # computes three full-column masks in the order written.
+    chain_rng = np.random.default_rng(seed + 2)
+    chain_table = ColumnTable(
+        "chain",
+        [
+            ColumnVector("category", chain_rng.integers(0, 250, n), encoding="dictionary"),
+            ColumnVector("status", np.sort(chain_rng.integers(0, 50, n)), encoding="rle"),
+            ColumnVector("bucket", chain_rng.integers(0, 200, n), encoding="dictionary"),
+        ],
+    )
+    chain_expressions = [  # written worst-first: two ~90% filters, then the needle
+        col("status") < 45,
+        col("bucket") < 180,
+        col("category") == 7,
+    ]
+    chain_steps = [
+        ("status", lambda v: v < 45),
+        ("bucket", lambda v: v < 180),
+        ("category", lambda v: v == 7),
+    ]
+
+    def plan_filter_chain():
+        query = ColumnQuery(chain_table)
+        for expression in chain_expressions:
+            query = query.where(expression)
+        return query.selection
+
+    compressed = _best_of(plan_filter_chain, rounds)
+    baseline = _best_of(lambda: baseline_filter_chain(chain_table, chain_steps), rounds)
+    np.testing.assert_array_equal(
+        plan_filter_chain(), baseline_filter_chain(chain_table, chain_steps)
+    )
+    results.append(_entry("filter_chain", "dictionary+rle", n, compressed, baseline))
 
     # Load: stats-driven encoding choice vs encode-all-candidates.
     for name, values in columns.items():

@@ -82,6 +82,12 @@ from repro.colstore.compression import (
 from repro.colstore.table import ColumnTable
 from repro.colstore.catalog import ColumnStore
 from repro.colstore.query import ColumnQuery, merge_join_positions
+from repro.colstore.planner import (
+    ColumnStoreCatalog,
+    explain_plan,
+    optimize_plan,
+    run_plan,
+)
 
 __all__ = [
     "AGGREGATE_FUNCTIONS",
@@ -98,4 +104,8 @@ __all__ = [
     "ColumnStore",
     "ColumnQuery",
     "merge_join_positions",
+    "ColumnStoreCatalog",
+    "explain_plan",
+    "optimize_plan",
+    "run_plan",
 ]

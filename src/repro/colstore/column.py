@@ -14,6 +14,7 @@ from repro.colstore.compression import (
     sorted_distinct,
     sorted_distinct_inverse,
 )
+from repro.plan.optimizer import ColumnStats
 
 
 class ColumnVector:
@@ -43,6 +44,7 @@ class ColumnVector:
             self._encoding = PlainEncoding()
             self._encoding.encode(values)
         self._cache: np.ndarray | None = None
+        self._stats: ColumnStats | None = None
 
     def __len__(self) -> int:
         return len(self._encoding)
@@ -65,6 +67,48 @@ class ColumnVector:
     def supports_distinct_pushdown(self) -> bool:
         """True when predicates evaluate on distinct values only (dict/RLE)."""
         return self._encoding.supports_distinct_pushdown
+
+    def stats(self) -> ColumnStats:
+        """Cheap column statistics for the planner's selectivity estimates.
+
+        Answered from encoding metadata where possible (dictionary
+        cardinality and endpoints, RLE run values, a monotone delta
+        column's first/last value, a plain column's stored array).
+        Statistics never *force* a decode: a column whose encoding has no
+        hint only gets min/max when its decode cache already exists,
+        otherwise the bounds stay unknown and the planner falls back to
+        the default selectivity.  Computed once and cached.
+        """
+        if self._stats is None:
+            distinct, minimum, maximum = self._encoding.stats_hint()
+            if self.dtype.kind not in "biuf":
+                # Non-numeric columns have no usable range: a string
+                # dictionary's lexicographic endpoints may even parse as
+                # floats ('100' < '99') and invert the bounds.
+                minimum = maximum = None
+            minimum = self._finite_or_none(minimum)
+            maximum = self._finite_or_none(maximum)
+            if (
+                (minimum is None or maximum is None)
+                and self._cache is not None
+                and len(self)
+                and self.dtype.kind in "biuf"
+            ):
+                minimum = self._finite_or_none(self._cache.min())
+                maximum = self._finite_or_none(self._cache.max())
+            self._stats = ColumnStats(len(self), distinct, minimum, maximum)
+        return self._stats
+
+    @staticmethod
+    def _finite_or_none(value) -> float | None:
+        """Coerce a statistics bound to a finite float (None otherwise)."""
+        if value is None:
+            return None
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            return None
+        return number if np.isfinite(number) else None
 
     def values(self) -> np.ndarray:
         """Decode (and cache) the full column."""

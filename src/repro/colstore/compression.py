@@ -160,6 +160,16 @@ class Encoding:
 
     # -- compressed execution (generic fallbacks decode in full) -------------------
 
+    def stats_hint(self) -> tuple[int | None, object, object]:
+        """Cheap ``(distinct_count, minimum, maximum)`` facts, None when unknown.
+
+        Selectivity estimation reads these through
+        :meth:`repro.colstore.column.ColumnVector.stats`; encodings answer
+        from their own metadata (dictionary cardinality, run values, delta
+        endpoints) without decoding.  The base implementation knows nothing.
+        """
+        return None, None, None
+
     def take(self, indices: np.ndarray) -> np.ndarray:
         """Gather the values at ``indices`` from the encoded form."""
         return self.decode()[np.asarray(indices)]
@@ -256,6 +266,14 @@ class PlainEncoding(Encoding):
         values = self._values if positions is None else self._values[np.asarray(positions)]
         return np.unique(values, return_inverse=True)
 
+    def stats_hint(self) -> tuple[int | None, object, object]:
+        """Endpoints scanned from the stored array — no decode copy."""
+        if self._values is None or not len(self._values):
+            return None, None, None
+        if self._values.dtype.kind not in "biuf":
+            return None, None, None
+        return None, self._values.min(), self._values.max()
+
 
 @dataclass
 class RunLengthEncoding(Encoding):
@@ -340,6 +358,13 @@ class RunLengthEncoding(Encoding):
         if positions is not None or self._run_values is None:
             return super().distinct_values(positions)
         return np.unique(self._run_values)
+
+    def stats_hint(self) -> tuple[int | None, object, object]:
+        """Distinct count and extrema from the run values (never the rows)."""
+        if self._run_values is None or not len(self._run_values):
+            return None, None, None
+        uniques = np.unique(self._run_values)
+        return len(uniques), uniques[0], uniques[-1]
 
     def group_reduce(
         self,
@@ -465,12 +490,19 @@ class DictionaryEncoding(Encoding):
             return self._dictionary, self._codes
         return _compact_distinct(self._dictionary, self._codes[np.asarray(positions)])
 
+    def stats_hint(self) -> tuple[int | None, object, object]:
+        """The sorted dictionary *is* the statistics: cardinality + endpoints."""
+        if self._dictionary is None or not len(self._dictionary):
+            return None, None, None
+        return len(self._dictionary), self._dictionary[0], self._dictionary[-1]
+
     def _expand_distinct_mask(self, distinct_mask: np.ndarray) -> np.ndarray:
         """Expand a per-distinct-value verdict to a full-length row mask.
 
         The dictionary is sorted, so range predicates (``<``, ``>=``, …)
-        produce prefix/suffix verdict masks; those expand as a single code
-        comparison instead of a gather.
+        produce prefix/suffix verdict masks and equality/BETWEEN predicates
+        produce a single contiguous run of verdicts; all of those expand as
+        one or two code comparisons instead of a gather.
         """
         codes = self._codes
         true_count = int(distinct_mask.sum())
@@ -479,10 +511,16 @@ class DictionaryEncoding(Encoding):
             return np.zeros(len(codes), dtype=bool)
         if true_count == cardinality:
             return np.ones(len(codes), dtype=bool)
-        if distinct_mask[:true_count].all():
-            return codes < true_count
-        if distinct_mask[cardinality - true_count:].all():
-            return codes >= cardinality - true_count
+        first_true = int(np.argmax(distinct_mask))
+        if distinct_mask[first_true:first_true + true_count].all():
+            # Contiguous verdict run [first_true, first_true + true_count).
+            if first_true == 0:
+                return codes < true_count
+            if first_true + true_count == cardinality:
+                return codes >= first_true
+            if true_count == 1:
+                return codes == first_true
+            return (codes >= first_true) & (codes < first_true + true_count)
         return distinct_mask[codes]
 
 
@@ -562,6 +600,13 @@ class DeltaEncoding(Encoding):
         if self._first is None:
             return False
         return len(self._deltas) == 0 or int(self._deltas.min()) >= 0
+
+    def stats_hint(self) -> tuple[int | None, object, object]:
+        """Monotone columns expose their endpoints without decoding."""
+        if self._first is None or not self.is_monotone:
+            return None, None, None
+        last = np.int64(self._first) + self._deltas.sum(dtype=np.int64)
+        return None, self._first, last.astype(self._dtype)
 
     def distinct_inverse(
         self, positions: np.ndarray | None = None

@@ -1,0 +1,104 @@
+"""Execute shared logical plans (:mod:`repro.plan`) on the column store.
+
+This is the glue between the engine-agnostic plan layer and the compressed
+column tables: a :class:`ColumnStoreCatalog` exposes table schemas and the
+encodings' statistics to the optimizer, and :func:`run_plan` lowers an
+(optimized) plan onto :class:`~repro.colstore.query.ColumnQuery` — whose
+lazy filter pipeline maps range/equality/membership predicates straight
+onto the dictionary/RLE/delta fast paths.
+
+Relational-algebra subtrees produce a :class:`ColumnQuery` (call
+``collect()`` for a table); :class:`~repro.plan.logical.Aggregate` returns
+``(group_keys, aggregates)`` and :class:`~repro.plan.logical.Pivot`
+returns ``(matrix, row_labels, column_labels)``, matching the eager
+``ColumnQuery`` methods bit for bit.
+"""
+
+from __future__ import annotations
+
+from repro.colstore.catalog import ColumnStore
+from repro.colstore.query import ColumnQuery
+from repro.plan import logical
+from repro.plan.expressions import Expression
+from repro.plan.logical import explain
+from repro.plan.optimizer import (
+    ColumnStats,
+    PlanCatalog,
+    optimize,
+    selectivity_annotator,
+)
+
+
+class ColumnStoreCatalog(PlanCatalog):
+    """Expose a :class:`ColumnStore`'s schemas and encoding stats to the optimizer."""
+
+    def __init__(self, store: ColumnStore):
+        self.store = store
+
+    def columns_of(self, table: str) -> list[str] | None:
+        if table not in self.store:
+            return None
+        return self.store.table(table).column_names
+
+    def stats_of(self, table: str, column: str) -> ColumnStats | None:
+        if table not in self.store:
+            return None
+        try:
+            return self.store.table(table).column(column).stats()
+        except KeyError:
+            return None
+
+
+def optimize_plan(plan: logical.PlanNode, store: ColumnStore) -> logical.PlanNode:
+    """Optimize a plan with the store's schemas and statistics."""
+    return optimize(plan, ColumnStoreCatalog(store))
+
+
+def explain_plan(plan: logical.PlanNode, store: ColumnStore | None = None) -> str:
+    """Render a plan; with a store, filters carry selectivity estimates."""
+    if store is None:
+        return explain(plan)
+    catalog = ColumnStoreCatalog(store)
+    return explain(plan, selectivity_annotator(plan, catalog))
+
+
+def run_plan(plan: logical.PlanNode, store: ColumnStore, optimized: bool = True):
+    """Execute a logical plan against the store.
+
+    Args:
+        plan: the logical plan tree.
+        store: the column store holding the scanned tables.
+        optimized: apply the rule-based optimizer first (pass False to
+            execute the plan exactly as written — the equivalence tests
+            compare both paths).
+    """
+    if optimized:
+        plan = optimize_plan(plan, store)
+    if isinstance(plan, logical.Aggregate):
+        query = _query_for(plan.child, store)
+        return query.group_aggregate(plan.group_by, plan.value, plan.function)
+    if isinstance(plan, logical.Pivot):
+        query = _query_for(plan.child, store)
+        return query.pivot(plan.row_key, plan.column_key, plan.value)
+    return _query_for(plan, store)
+
+
+def _query_for(node: logical.PlanNode, store: ColumnStore) -> ColumnQuery:
+    """Lower a relational-algebra subtree onto a lazy ColumnQuery."""
+    if isinstance(node, logical.Scan):
+        return store.query(node.table)
+    if isinstance(node, logical.Filter):
+        predicate: Expression = node.predicate
+        return _query_for(node.child, store).where(predicate)
+    if isinstance(node, logical.Project):
+        return _query_for(node.child, store).select(*node.columns)
+    if isinstance(node, logical.Sample):
+        return _query_for(node.child, store).sample(node.fraction, node.seed)
+    if isinstance(node, logical.Join):
+        left = _query_for(node.left, store)
+        right = _query_for(node.right, store)
+        table = left.join(
+            right, node.left_key, node.right_key, result_name=node.result_name
+        )
+        return ColumnQuery(table)
+    raise TypeError(f"cannot execute plan node {type(node).__name__} on the column store")

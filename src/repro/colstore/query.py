@@ -1,10 +1,23 @@
 """Vectorised query execution over column tables.
 
-A :class:`ColumnQuery` carries a reference to its base table plus a
-*selection vector* (integer row positions that survive the filters so far)
-— the late-materialisation execution style of real column stores.  Filters
-narrow the selection vector using whole-column vectorised comparisons;
-``columns()`` / ``to_matrix()`` gather only what the caller asks for.
+A :class:`ColumnQuery` is a *lazy builder* over the shared declarative
+query surface in :mod:`repro.plan`: ``where`` accepts an expression tree
+(``col("function") < 250``, ``&``/``|``/``~``, ``isin``) and only records
+it.  The accumulated conjunction is optimized when a result is first
+needed — split into conjuncts, each classified structurally
+(range/equality/membership/opaque) and reordered so the predicate with the
+smallest estimated selectivity (from the encodings' own statistics) runs
+first over the full column while the rest evaluate on the already-narrowed
+selection only.  The materialised state is a *selection vector* (integer
+row positions that survive the filters) — the late-materialisation
+execution style of real column stores; ``columns()`` / ``to_matrix()``
+gather only what the caller asks for, and ``select()``/``collect()`` prune
+the materialised columns to the projected set.
+
+The legacy ``where(column_name, callable)`` form is deprecated: it wraps
+the callable into an opaque-predicate node the optimizer cannot inspect
+(default selectivity, no encoding-specific mapping beyond the distinct-
+value pushdown).  Migrate to expressions — see ``src/repro/plan/README.md``.
 
 Joins produce a new in-memory :class:`ColumnTable` built from gathered
 columns (a materialised join result), since GenBase's join outputs feed
@@ -38,12 +51,15 @@ in the last ulps.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.colstore.compression import predicate_mask
 from repro.colstore.table import ColumnTable
+from repro.plan.expressions import ColumnRef, Expression, InList, Opaque
+from repro.plan.optimizer import ordered_conjuncts
 
 
 def merge_join_positions(
@@ -132,66 +148,235 @@ def _sorted_match_positions(
     return _expand_hit_ranges(low, high - low, order)
 
 
-class ColumnQuery:
-    """A query over one column table with an accumulated selection vector."""
+def _columnwise(expression: Expression, column: str):
+    """Compile a single-column expression to an element-wise mask function.
 
-    def __init__(self, table: ColumnTable, selection: np.ndarray | None = None):
+    The result is safe for the encodings' distinct-value pushdown: every
+    expression node evaluates element-wise, so verdicts on distinct values
+    expand correctly through codes/runs.
+    """
+    return lambda values: expression.evaluate({column: values})
+
+
+class ColumnQuery:
+    """A lazy query over one column table.
+
+    Filters accumulate as declarative predicate expressions; the selection
+    vector is computed (and cached) the first time a result is needed, via
+    the selectivity-ordered execution described in the module docstring.
+    """
+
+    def __init__(self, table: ColumnTable, selection: np.ndarray | None = None,
+                 pending: Sequence[Expression] = (),
+                 projection: tuple[str, ...] | None = None):
         self.table = table
-        self._full_selection = selection is None
+        self._base = (
+            None if selection is None else np.asarray(selection, dtype=np.int64)
+        )
+        self._pending: tuple[Expression, ...] = tuple(pending)
+        self._projection = projection
+        self._cached: np.ndarray | None = self._base if not self._pending else None
+
+    # -- lazy state -----------------------------------------------------------------
+
+    @property
+    def selection(self) -> np.ndarray:
+        """The materialised selection vector (runs pending filters once)."""
+        if self._cached is None:
+            self._cached = self._execute_filters()
+        return self._cached
+
+    @property
+    def _full_selection(self) -> bool:
+        return self._base is None and not self._pending
+
+    def _derive(self, extra: Expression) -> "ColumnQuery":
+        """Stack one more filter; an already-materialised selection becomes
+        the new base so earlier results are never recomputed."""
+        if self._cached is not None and self._pending:
+            return ColumnQuery(self.table, self._cached, (extra,), self._projection)
+        return ColumnQuery(
+            self.table, self._base, self._pending + (extra,), self._projection
+        )
+
+    def _validate_columns(self, names) -> None:
+        for name in sorted(names):
+            self.table.column(name)  # raises KeyError naming column and table
+
+    # -- filter execution ------------------------------------------------------------
+
+    def _optimized_filters(self):
+        """Split, classify and selectivity-order the pending conjunction.
+
+        The single pipeline behind both execution and ``explain()``, so the
+        rendered plan always matches the executed one.
+        ``ordered_conjuncts`` itself skips the statistics pass when the
+        conjunction has a single conjunct.
+        """
+        return ordered_conjuncts(
+            self._pending, lambda column: self.table.column(column).stats()
+        )
+
+    def _execute_filters(self) -> np.ndarray:
+        selection = self._base
+        for expression, predicate, _ in self._optimized_filters():
+            selection = self._apply_filter(selection, expression, predicate)
         if selection is None:
-            selection = np.arange(table.row_count, dtype=np.int64)
-        self.selection = np.asarray(selection, dtype=np.int64)
+            selection = np.arange(self.table.row_count, dtype=np.int64)
+        return selection
+
+    def _apply_filter(self, selection, expression, predicate) -> np.ndarray:
+        """Narrow ``selection`` (None = all rows) by one classified predicate.
+
+        The first filter evaluates over the full column through the
+        encoding's pushdown (``isin`` / distinct-value ``filter_mask``);
+        later filters evaluate on the gathered, already-narrowed values
+        only, so an unselective predicate never touches the full column
+        once a selective one has run.
+        """
+        if predicate.column is not None:
+            vector = self.table.column(predicate.column)
+            if predicate.kind == "membership":
+                keys = expression.key_array()
+                if selection is None:
+                    return np.flatnonzero(vector.isin(keys)).astype(np.int64)
+                return selection[np.isin(vector.take(selection), keys)]
+            fn = _columnwise(expression, predicate.column)
+            if selection is None:
+                return np.flatnonzero(vector.filter_mask(fn)).astype(np.int64)
+            return selection[predicate_mask(vector.take(selection), fn)]
+        # Multi-column (or column-free) predicate: vectorised batch evaluation.
+        names = sorted(expression.columns_referenced())
+        batch = {
+            name: (
+                self.table.column(name).values()
+                if selection is None
+                else self.table.column(name).take(selection)
+            )
+            for name in names
+        }
+        length = self.table.row_count if selection is None else len(selection)
+        mask = np.asarray(expression.evaluate(batch), dtype=bool)
+        if mask.ndim == 0:
+            mask = np.full(length, bool(mask))
+        if mask.shape != (length,):
+            raise ValueError("predicate must return one boolean per input row")
+        return np.flatnonzero(mask).astype(np.int64) if selection is None else selection[mask]
 
     # -- filtering -----------------------------------------------------------------
 
-    def _narrowed(self, full_mask: np.ndarray) -> "ColumnQuery":
-        """Narrow the selection with a full-column boolean mask."""
-        if self._full_selection:
-            return ColumnQuery(self.table, np.flatnonzero(full_mask).astype(np.int64))
-        return ColumnQuery(self.table, self.selection[full_mask[self.selection]])
+    def where(self, column, predicate: Callable[[np.ndarray], np.ndarray] | None = None) -> "ColumnQuery":
+        """Keep rows satisfying a predicate (lazily).
 
-    def where(self, column: str, predicate: Callable[[np.ndarray], np.ndarray]) -> "ColumnQuery":
-        """Keep rows where ``predicate(column_values)`` is True.
+        The declarative form takes one expression argument::
 
-        The predicate must be a vectorised, element-wise, stateless function
-        returning one boolean per input value.  On dictionary/RLE columns it
-        is pushed down to the *distinct* values and expanded through the
-        codes/runs, so it never sees the full (or selected) column there.
+            query.where(col("function") < 250)
+            query.where((col("gender") == 1) & (col("age") < 40))
+
+        Conjunctions are split and reordered by estimated selectivity before
+        execution; range/equality/``isin`` shapes map straight onto the
+        encodings' fast paths.
+
+        The legacy form ``where(column_name, callable)`` is **deprecated**:
+        the callable must be vectorised, element-wise and stateless (on
+        dictionary/RLE columns it is evaluated on the *distinct* values
+        only) and is wrapped into an opaque node the optimizer cannot
+        inspect or estimate.
         """
-        vector = self.table.column(column)
-        if self._full_selection or vector.supports_distinct_pushdown:
-            return self._narrowed(vector.filter_mask(predicate))
-        # Plain/delta columns with a narrowed selection: gather first so the
-        # predicate runs over the selected values only (seed behaviour).
-        mask = predicate_mask(vector.take(self.selection), predicate)
-        return ColumnQuery(self.table, self.selection[mask])
+        if isinstance(column, Expression):
+            if predicate is not None:
+                raise TypeError(
+                    "where(expression) takes no second argument; "
+                    "where(column_name, callable) is the deprecated form"
+                )
+            self._validate_columns(column.columns_referenced())
+            return self._derive(column)
+        warnings.warn(
+            "ColumnQuery.where(column_name, callable) is deprecated; build a "
+            "declarative expression with repro.plan.col instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if not callable(predicate):
+            raise TypeError("the deprecated where(column_name, ...) form needs a callable")
+        self.table.column(column)  # raises KeyError naming column and table
+        return self._derive(Opaque(column, predicate))
 
     def where_in(self, column: str, values: Sequence) -> "ColumnQuery":
-        """Keep rows whose column value is in ``values``.
+        """Keep rows whose column value is in ``values`` (lazily).
 
         Accepts any array-like (ndarrays are used as-is, no Python-list
         round trip); keys are deduplicated before the membership test and
-        the test itself is pushed down the column's encoding.
+        the test itself is pushed down the column's encoding.  Equivalent
+        to ``where(col(column).isin(values))``.
         """
-        vector = self.table.column(column)  # unknown names must raise either way
+        self.table.column(column)  # raises KeyError naming column and table
         if not isinstance(values, np.ndarray):
             values = np.asarray(list(values))
         if values.size == 0:
             # An empty key set selects nothing.  Short-circuit before the
             # float64 dtype that ``np.asarray([])`` defaults to can poison
             # the membership comparison against string/int columns.
-            return ColumnQuery(self.table, np.empty(0, dtype=np.int64))
-        lookup = np.unique(values)
-        return self._narrowed(vector.isin(lookup))
+            return ColumnQuery(self.table, np.empty(0, dtype=np.int64),
+                               projection=self._projection)
+        return self._derive(InList(ColumnRef(column), values))
 
     def sample(self, fraction: float, seed: int = 0) -> "ColumnQuery":
-        """Keep a deterministic random sample of the current selection."""
+        """Keep a deterministic random sample of the current selection.
+
+        Each base-table row gets a score from ``default_rng(seed)``; the
+        sample keeps the ``max(1, round(fraction * n))`` selected rows with
+        the smallest scores.  The kept rows are therefore a pure function
+        of the *set* of selected rows — independent of the order the
+        selection vector lists them in or the order earlier filters were
+        applied (and re-applied by the optimizer) — so narrowing after
+        ``sample`` composes deterministically for equal seeds.  Sampling
+        remains an optimizer barrier: filters never move across it.
+        """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
-        rng = np.random.default_rng(seed)
-        n_keep = max(1, int(round(fraction * len(self.selection))))
-        chosen = rng.choice(len(self.selection), size=n_keep, replace=False)
-        return ColumnQuery(self.table, np.sort(self.selection[chosen]))
+        rows = np.sort(self.selection)
+        n_keep = max(1, int(round(fraction * len(rows)))) if len(rows) else 0
+        scores = np.random.default_rng(seed).random(self.table.row_count)
+        kept = rows[np.argsort(scores[rows], kind="stable")[:n_keep]]
+        return ColumnQuery(self.table, np.sort(kept), projection=self._projection)
+
+    # -- projection --------------------------------------------------------------------
+
+    def select(self, *names: str) -> "ColumnQuery":
+        """Restrict the query's output to the named columns (lazily).
+
+        Only the selected columns are ever decoded by ``collect()`` /
+        ``to_table()`` — the column-store form of projection pruning.
+        """
+        self._validate_columns(names)
+        derived = ColumnQuery(self.table, self._base, self._pending, tuple(names))
+        derived._cached = self._cached
+        return derived
+
+    @property
+    def output_columns(self) -> list[str]:
+        """The columns this query materialises (projection or all)."""
+        if self._projection is not None:
+            return list(self._projection)
+        return self.table.column_names
+
+    def collect(self, name: str = "result") -> ColumnTable:
+        """Materialise the query as a new column table (projected columns only)."""
+        return self.to_table(name, self._projection)
+
+    def explain(self) -> str:
+        """Render the optimized filter pipeline (for tests and debugging)."""
+        lines = [f"Scan {self.table.name} ({self.table.row_count} rows)"]
+        if self._base is not None:
+            lines.append(f"  Base selection ({len(self._base)} rows)")
+        for expression, predicate, selectivity in self._optimized_filters():
+            lines.append(
+                f"  Filter {expression!r} [{predicate.kind} ~sel={selectivity:.4f}]"
+            )
+        if self._projection is not None:
+            lines.append(f"  Project {list(self._projection)}")
+        return "\n".join(lines)
 
     # -- inspection -----------------------------------------------------------------
 
@@ -227,8 +412,12 @@ class ColumnQuery:
         return np.column_stack([self.column(name).astype(np.float64) for name in names])
 
     def to_table(self, name: str, names: Sequence[str] | None = None) -> ColumnTable:
-        """Materialise the current selection as a new column table."""
-        names = list(names) if names is not None else self.table.column_names
+        """Materialise the current selection as a new column table.
+
+        Defaults to the projected columns (``select``), or all columns when
+        no projection was set.
+        """
+        names = list(names) if names is not None else self.output_columns
         return ColumnTable.from_arrays(name, self.columns(names))
 
     # -- joins ------------------------------------------------------------------------
@@ -249,17 +438,18 @@ class ColumnQuery:
             left_key: join key column in this query's table.
             right_key: join key column in ``other``'s table.
             columns: mapping of output name → this table's column name; the
-                default keeps all of this table's columns.
+                default keeps this query's projected columns (all columns
+                when no ``select`` was applied).
             other_columns: mapping of output name → other table's column
-                name; the default keeps all of the other table's columns
+                name; the default keeps the other query's projected columns
                 except its join key.
             result_name: name for the materialised result table.
         """
         if columns is None:
-            columns = {name: name for name in self.table.column_names}
+            columns = {name: name for name in self.output_columns}
         if other_columns is None:
             other_columns = {
-                name: name for name in other.table.column_names if name != right_key
+                name: name for name in other.output_columns if name != right_key
             }
 
         left_keys = self.column(left_key)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.colstore import ColumnQuery, ColumnStore
 from repro.colstore.udf import UdfHost
+from repro.plan import col
 from repro.core.engines.base import Engine, EngineCapabilities
 from repro.core.queries import QueryOutput, statistics_patient_ids
 from repro.core.spec import QueryParameters
@@ -87,7 +88,12 @@ class _ColumnStoreDataManagement(Engine):
         return self.store.query("microarray").where_in("patient_id", patient_ids)
 
     def _selected_gene_ids(self, threshold: int) -> np.ndarray:
-        return self.store.query("genes").where("function", lambda v: v < threshold).column("gene_id")
+        """Q1/Q4 gene filter, expressed on the shared declarative plan API."""
+        return (
+            self.store.query("genes")
+            .where(col("function") < threshold)
+            .column("gene_id")
+        )
 
     def _drug_response_for(self, patient_labels: np.ndarray) -> np.ndarray:
         """Align drug responses with ``patient_labels`` via sorted binary search."""
@@ -184,7 +190,7 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
         with timer.data_management():
             patient_ids = (
                 self.store.query("patients")
-                .where_in("disease_id", diseases)
+                .where(col("disease_id").isin(diseases))
                 .column("patient_id")
             )
             matrix, _patients, gene_labels = self._pivot_patient_filter(patient_ids)
@@ -210,10 +216,14 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
 
     def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         with timer.data_management():
+            # One declarative conjunction: the planner splits it and runs
+            # the more selective half first (see ColumnQuery.explain()).
             patient_ids = (
                 self.store.query("patients")
-                .where("gender", lambda v: v == parameters.bicluster_gender)
-                .where("age", lambda v: v < parameters.bicluster_max_age)
+                .where(
+                    (col("gender") == parameters.bicluster_gender)
+                    & (col("age") < parameters.bicluster_max_age)
+                )
                 .column("patient_id")
             )
             matrix, _patients, _genes = self._pivot_patient_filter(patient_ids)

@@ -27,7 +27,8 @@ from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
 from repro.datagen.dataset import GenBaseDataset
 from repro.linalg.covariance import top_covariant_pairs
-from repro.relational import ColumnType, Database, col, lit
+from repro.plan import col, lit
+from repro.relational import ColumnType, Database
 from repro.relational.query import QueryResultSet
 from repro.relational.udf import UdfRegistry, default_madlib_registry
 from repro.rlang import stats as r

@@ -1,0 +1,93 @@
+"""Declarative expressions and logical plans shared by every engine.
+
+This package is the benchmark's common query surface: a small expression
+AST (:mod:`repro.plan.expressions`), engine-agnostic logical plan nodes
+(:mod:`repro.plan.logical`), and a rule-based optimizer
+(:mod:`repro.plan.optimizer`) — conjunction splitting, predicate pushdown,
+selectivity-ordered filters, projection pruning.
+
+The row store compiles expressions to per-tuple callables
+(``Expression.bind``); the column store evaluates them vectorised and maps
+range/equality/membership predicates straight onto its compression
+encodings' fast paths (:mod:`repro.colstore.planner`).  See ``README.md``
+in this directory for the grammar, the optimizer rules, and the migration
+notes for the deprecated callable ``where``.
+"""
+
+from repro.plan.expressions import (
+    BooleanOp,
+    BoundExpression,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+    Opaque,
+    all_columns,
+    and_,
+    col,
+    lit,
+    not_,
+    opaque,
+    or_,
+    split_conjuncts,
+)
+from repro.plan.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Pivot,
+    PlanNode,
+    Project,
+    Sample,
+    Scan,
+    explain,
+)
+from repro.plan.optimizer import (
+    ColumnStats,
+    PlanCatalog,
+    PredicateClass,
+    classify,
+    estimate_selectivity,
+    optimize,
+    ordered_conjuncts,
+    selectivity_annotator,
+)
+
+__all__ = [
+    "BooleanOp",
+    "BoundExpression",
+    "ColumnRef",
+    "Comparison",
+    "Expression",
+    "InList",
+    "Literal",
+    "Not",
+    "Opaque",
+    "all_columns",
+    "and_",
+    "col",
+    "lit",
+    "not_",
+    "opaque",
+    "or_",
+    "split_conjuncts",
+    "Aggregate",
+    "Filter",
+    "Join",
+    "Pivot",
+    "PlanNode",
+    "Project",
+    "Sample",
+    "Scan",
+    "explain",
+    "ColumnStats",
+    "PlanCatalog",
+    "PredicateClass",
+    "classify",
+    "estimate_selectivity",
+    "optimize",
+    "ordered_conjuncts",
+    "selectivity_annotator",
+]

@@ -1,0 +1,421 @@
+"""The shared expression AST: one declarative predicate language for every engine.
+
+Expressions are small immutable trees — column references, literals,
+comparisons, boolean connectives, arithmetic, and membership tests — built
+through the tiny DSL used throughout the engine adapters::
+
+    from repro.plan import col, lit, and_
+
+    predicate = and_(col("function") < lit(250), col("length") >= lit(100))
+
+One tree serves every execution style the benchmark compares:
+
+* the **row store** compiles an expression to a per-row-tuple callable with
+  :meth:`Expression.bind` (the Volcano operators' contract; ``schema`` is
+  duck-typed — anything with ``index_of(name)`` works),
+* the **column store** evaluates the same tree vectorised over numpy column
+  batches with :meth:`Expression.evaluate`, and — because the tree is
+  inspectable, unlike a Python callable — the planner can split
+  conjunctions (:func:`split_conjuncts`), push single-column predicates
+  down into the compression encodings, and reorder filters by estimated
+  selectivity (:mod:`repro.plan.optimizer`).
+
+:class:`Opaque` wraps a legacy vectorised Python callable over one named
+column.  It keeps the deprecated ``ColumnQuery.where(name, callable)``
+surface working, but the planner can neither introspect nor estimate it —
+which is exactly why the callable form is deprecated.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+class Expression:
+    """Base class for all expressions."""
+
+    def bind(self, schema) -> "BoundExpression":
+        """Compile to a row-tuple callable, resolving names via ``schema.index_of``."""
+        raise NotImplementedError
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]):
+        """Evaluate vectorised over a mapping of column name → numpy array."""
+        raise NotImplementedError
+
+    def columns_referenced(self) -> set[str]:
+        """Return the set of column names this expression reads."""
+        raise NotImplementedError
+
+    # Operator overloads build comparison / arithmetic / boolean trees.
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Comparison(self, _to_expression(other), operator.eq, "=")
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Comparison(self, _to_expression(other), operator.ne, "<>")
+
+    def __lt__(self, other):
+        return Comparison(self, _to_expression(other), operator.lt, "<")
+
+    def __le__(self, other):
+        return Comparison(self, _to_expression(other), operator.le, "<=")
+
+    def __gt__(self, other):
+        return Comparison(self, _to_expression(other), operator.gt, ">")
+
+    def __ge__(self, other):
+        return Comparison(self, _to_expression(other), operator.ge, ">=")
+
+    def __add__(self, other):
+        return Arithmetic(self, _to_expression(other), operator.add, "+")
+
+    def __sub__(self, other):
+        return Arithmetic(self, _to_expression(other), operator.sub, "-")
+
+    def __mul__(self, other):
+        return Arithmetic(self, _to_expression(other), operator.mul, "*")
+
+    def __truediv__(self, other):
+        return Arithmetic(self, _to_expression(other), operator.truediv, "/")
+
+    def __and__(self, other):
+        return BooleanOp((self, _to_expression(other)), conjunction=True)
+
+    def __or__(self, other):
+        return BooleanOp((self, _to_expression(other)), conjunction=False)
+
+    def __invert__(self):
+        return Not(self)
+
+    def __hash__(self):
+        return id(self)
+
+    def isin(self, values: Sequence) -> "InList":
+        """Build an ``IN (...)`` membership predicate.
+
+        ``values`` may be any iterable; a numpy array is kept as an array
+        (no Python-list round trip) so large key sets stay cheap for the
+        column store's membership pushdown.
+        """
+        return InList(self, values)
+
+
+@dataclass(frozen=True, eq=False)
+class BoundExpression:
+    """A compiled expression: a plain callable over a row tuple."""
+
+    function: Callable[[tuple], object]
+    description: str
+
+    def __call__(self, row: tuple):
+        return self.function(row)
+
+
+class ColumnRef(Expression):
+    """Reference to a named column."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def bind(self, schema) -> BoundExpression:
+        index = schema.index_of(self.name)
+        return BoundExpression(lambda row, _i=index: row[_i], self.name)
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]):
+        return batch[self.name]
+
+    def columns_referenced(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def bind(self, schema) -> BoundExpression:
+        value = self.value
+        return BoundExpression(lambda row, _v=value: _v, repr(value))
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]):
+        return self.value
+
+    def columns_referenced(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class Comparison(Expression):
+    """Binary comparison between two sub-expressions."""
+
+    def __init__(self, left: Expression, right: Expression, op, symbol: str):
+        self.left = left
+        self.right = right
+        self.op = op
+        self.symbol = symbol
+
+    def bind(self, schema) -> BoundExpression:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        op = self.op
+        return BoundExpression(
+            lambda row: op(left(row), right(row)),
+            f"({left.description} {self.symbol} {right.description})",
+        )
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]):
+        return self.op(self.left.evaluate(batch), self.right.evaluate(batch))
+
+    def columns_referenced(self) -> set[str]:
+        return self.left.columns_referenced() | self.right.columns_referenced()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class Arithmetic(Comparison):
+    """Binary arithmetic; shares the comparison plumbing."""
+
+
+class BooleanOp(Expression):
+    """N-ary AND / OR."""
+
+    def __init__(self, operands: Sequence[Expression], conjunction: bool):
+        if not operands:
+            raise ValueError("boolean operator needs at least one operand")
+        self.operands = tuple(operands)
+        self.conjunction = conjunction
+
+    def bind(self, schema) -> BoundExpression:
+        bound = [operand.bind(schema) for operand in self.operands]
+        if self.conjunction:
+            return BoundExpression(
+                lambda row: all(b(row) for b in bound),
+                " AND ".join(b.description for b in bound),
+            )
+        return BoundExpression(
+            lambda row: any(b(row) for b in bound),
+            " OR ".join(b.description for b in bound),
+        )
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]):
+        combine = np.logical_and if self.conjunction else np.logical_or
+        result = np.asarray(self.operands[0].evaluate(batch), dtype=bool)
+        for operand in self.operands[1:]:
+            result = combine(result, np.asarray(operand.evaluate(batch), dtype=bool))
+        return result
+
+    def columns_referenced(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.columns_referenced()
+        return result
+
+    def __repr__(self) -> str:
+        joiner = " AND " if self.conjunction else " OR "
+        return "(" + joiner.join(repr(op) for op in self.operands) + ")"
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def bind(self, schema) -> BoundExpression:
+        bound = self.operand.bind(schema)
+        return BoundExpression(lambda row: not bound(row), f"NOT {bound.description}")
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]):
+        return np.logical_not(np.asarray(self.operand.evaluate(batch), dtype=bool))
+
+    def columns_referenced(self) -> set[str]:
+        return self.operand.columns_referenced()
+
+    def __repr__(self) -> str:
+        return f"not_({self.operand!r})"
+
+
+class InList(Expression):
+    """Membership test against a literal set of values.
+
+    Plain iterables are frozen into a set (the row store probes it per
+    tuple); numpy arrays are kept as arrays so the column store's
+    ``isin`` pushdown never round-trips large key sets through Python.
+    """
+
+    def __init__(self, operand: Expression, values):
+        self.operand = operand
+        if isinstance(values, np.ndarray):
+            self.values = values.copy()
+        else:
+            self.values = frozenset(values)
+        self._keys: np.ndarray | None = None
+
+    def key_array(self) -> np.ndarray:
+        """The membership keys as a sorted, deduplicated numpy array (cached)."""
+        if self._keys is None:
+            if isinstance(self.values, np.ndarray):
+                self._keys = np.unique(self.values)
+            else:
+                self._keys = np.unique(np.asarray(sorted(self.values)))
+        return self._keys
+
+    def _sorted_values(self) -> list:
+        if isinstance(self.values, np.ndarray):
+            return np.unique(self.values).tolist()
+        return sorted(self.values)
+
+    def bind(self, schema) -> BoundExpression:
+        bound = self.operand.bind(schema)
+        if isinstance(self.values, np.ndarray):
+            values = frozenset(self.values.tolist())
+        else:
+            values = self.values
+        return BoundExpression(
+            lambda row: bound(row) in values,
+            f"{bound.description} IN {self._sorted_values()!r}",
+        )
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]):
+        return np.isin(self.operand.evaluate(batch), self.key_array())
+
+    def columns_referenced(self) -> set[str]:
+        return self.operand.columns_referenced()
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}.isin({self._sorted_values()!r})"
+
+
+class Opaque(Expression):
+    """A legacy vectorised Python callable over one named column.
+
+    The callable must be element-wise and stateless (the column store may
+    evaluate it on an encoding's *distinct* values only).  The planner
+    cannot see inside it, so it gets the default selectivity estimate and
+    blocks every rewrite smarter than "run it somewhere in the chain" —
+    prefer real expression trees.
+    """
+
+    def __init__(self, column: str, fn: Callable[[np.ndarray], np.ndarray]):
+        self.column = column
+        self.fn = fn
+
+    def bind(self, schema) -> BoundExpression:
+        index = schema.index_of(self.column)
+        fn = self.fn
+        return BoundExpression(
+            lambda row: bool(np.asarray(fn(np.asarray([row[index]])))[0]),
+            f"opaque({self.column})",
+        )
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]):
+        return self.fn(batch[self.column])
+
+    def columns_referenced(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"opaque({self.column!r})"
+
+
+def _to_expression(value) -> Expression:
+    """Wrap plain Python values as literals."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+def is_total(expression: Expression) -> bool:
+    """True when the predicate is defined for *every* input row.
+
+    Division can raise (row store) or emit inf/nan (column store) on rows a
+    join or an earlier filter would have eliminated, and an opaque callable
+    may assume a guarded domain — such predicates must not be evaluated on
+    rows they were not written to see, so the optimizers refuse to move
+    them below a join.  Everything else in the AST (comparisons, boolean
+    connectives, +/-/*, membership) is a total element-wise operation.
+    """
+    if isinstance(expression, Opaque):
+        return False
+    if isinstance(expression, Arithmetic) and expression.symbol == "/":
+        return False
+    if isinstance(expression, Comparison):  # includes non-division Arithmetic
+        return is_total(expression.left) and is_total(expression.right)
+    if isinstance(expression, BooleanOp):
+        return all(is_total(operand) for operand in expression.operands)
+    if isinstance(expression, Not):
+        return is_total(expression.operand)
+    if isinstance(expression, InList):
+        return is_total(expression.operand)
+    return True  # ColumnRef, Literal
+
+
+def split_conjuncts(expression: Expression) -> list[Expression]:
+    """Flatten nested conjunctions into a list of conjunct predicates.
+
+    ``(a & b) & c`` → ``[a, b, c]``.  Anything that is not a top-level AND
+    (disjunctions included) comes back as a single-element list.
+    """
+    if isinstance(expression, BooleanOp) and expression.conjunction:
+        result: list[Expression] = []
+        for operand in expression.operands:
+            result.extend(split_conjuncts(operand))
+        return result
+    return [expression]
+
+
+# --------------------------------------------------------------------------- #
+# DSL entry points
+# --------------------------------------------------------------------------- #
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name."""
+    return ColumnRef(name)
+
+
+def lit(value) -> Literal:
+    """Wrap a constant value."""
+    return Literal(value)
+
+
+def and_(*operands: Expression) -> Expression:
+    """Conjunction of one or more predicates."""
+    if len(operands) == 1:
+        return operands[0]
+    return BooleanOp(operands, conjunction=True)
+
+
+def or_(*operands: Expression) -> Expression:
+    """Disjunction of one or more predicates."""
+    if len(operands) == 1:
+        return operands[0]
+    return BooleanOp(operands, conjunction=False)
+
+
+def not_(operand: Expression) -> Not:
+    """Negate a predicate."""
+    return Not(operand)
+
+
+def opaque(column: str, fn: Callable[[np.ndarray], np.ndarray]) -> Opaque:
+    """Wrap a legacy vectorised callable over one column (see :class:`Opaque`)."""
+    return Opaque(column, fn)
+
+
+def all_columns(expressions: Iterable[Expression]) -> set[str]:
+    """Union of the columns referenced by several expressions."""
+    result: set[str] = set()
+    for expression in expressions:
+        result |= expression.columns_referenced()
+    return result

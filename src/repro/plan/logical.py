@@ -1,0 +1,156 @@
+"""Engine-agnostic logical query plans.
+
+A logical plan is a small immutable tree of relational operations —
+scan / filter / project / sample / join / aggregate / pivot — that names
+tables and columns but prescribes no execution strategy.  The same plan
+can be lowered onto any of the benchmark's engines; the column-store
+executor lives in :mod:`repro.colstore.planner`.
+
+Plans are optimized by the rule set in :mod:`repro.plan.optimizer`
+(conjunction splitting, predicate pushdown, selectivity-ordered filters,
+projection pruning) and rendered for tests and EXPLAIN output by
+:func:`explain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan.expressions import Expression
+
+
+class PlanNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """Scan of a named base table."""
+
+    table: str
+
+
+# eq=False: a dataclass-generated __eq__ would delegate to the predicate's
+# Expression.__eq__, which builds a (truthy) comparison AST node instead of
+# returning a bool — two Filters with the same child would compare equal
+# regardless of predicate.  Identity semantics keep the hash/eq contract.
+@dataclass(frozen=True, eq=False)
+class Filter(PlanNode):
+    """Selection by a predicate expression."""
+
+    child: PlanNode
+    predicate: Expression
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    """Projection to the named columns."""
+
+    child: PlanNode
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Sample(PlanNode):
+    """Deterministic random sample of the child's rows.
+
+    Sampling is an optimizer *barrier*: which rows it keeps depends on the
+    set of rows flowing into it, so no filter may move across it.
+    """
+
+    child: PlanNode
+    fraction: float
+    seed: int = 0
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Join(PlanNode):
+    """Equi-join; the output keeps the left columns plus the right columns
+    minus the right key (the column store's materialised-join convention)."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: str
+    right_key: str
+    result_name: str = "join_result"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Aggregate(PlanNode):
+    """Single-key GROUP BY producing ``(group_keys, aggregates)``."""
+
+    child: PlanNode
+    group_by: str
+    value: str
+    function: str = "mean"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Pivot(PlanNode):
+    """Pivot into a dense matrix: ``(matrix, row_labels, column_labels)``."""
+
+    child: PlanNode
+    row_key: str
+    column_key: str
+    value: str
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+def explain(node: PlanNode, annotate=None) -> str:
+    """Render a plan tree as indented text.
+
+    ``annotate`` may be a callable ``(node) -> str`` appending extra detail
+    (the optimizer uses it to show estimated filter selectivities).
+    """
+    lines: list[str] = []
+    _explain_into(node, 0, lines, annotate)
+    return "\n".join(lines)
+
+
+def _describe(node: PlanNode) -> str:
+    if isinstance(node, Scan):
+        return f"Scan {node.table}"
+    if isinstance(node, Filter):
+        return f"Filter {node.predicate!r}"
+    if isinstance(node, Project):
+        return f"Project {list(node.columns)}"
+    if isinstance(node, Sample):
+        return f"Sample fraction={node.fraction} seed={node.seed}"
+    if isinstance(node, Join):
+        return f"Join {node.left_key} = {node.right_key}"
+    if isinstance(node, Aggregate):
+        return f"Aggregate {node.function}({node.value}) by {node.group_by}"
+    if isinstance(node, Pivot):
+        return f"Pivot rows={node.row_key} cols={node.column_key} value={node.value}"
+    return type(node).__name__
+
+
+def _explain_into(node: PlanNode, depth: int, lines: list[str], annotate) -> None:
+    text = "  " * depth + _describe(node)
+    if annotate is not None:
+        extra = annotate(node)
+        if extra:
+            text += f"  [{extra}]"
+    lines.append(text)
+    for child in node.children():
+        _explain_into(child, depth + 1, lines, annotate)

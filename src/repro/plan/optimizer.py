@@ -1,0 +1,408 @@
+"""Rule-based optimizer for the shared logical plans.
+
+Rules, applied in a fixed deterministic order by :func:`optimize`:
+
+1. **conjunction splitting** — ``Filter(a & b & c)`` becomes three stacked
+   filters, so each conjunct can move and be estimated independently;
+2. **predicate pushdown** — filters move below projections and joins when
+   they reference only one side's columns (never across a :class:`Sample`,
+   which is a barrier: its output depends on the exact row set it sees);
+3. **filter reordering** — consecutive filters are reordered so the most
+   selective (by the estimates below) runs first, shrinking the row set
+   the rest of the chain has to touch;
+4. **projection pruning** — every scan is wrapped in a projection of just
+   the columns the plan above it references, so unused columns are never
+   decoded.
+
+Selectivity estimation reads per-column statistics through a
+:class:`PlanCatalog` (the column store derives them from its encodings:
+dictionary cardinality, run values, delta endpoints).  Predicates are
+classified structurally — range / equality / membership — which is the
+payoff of declarative expressions over opaque callables: a callable can
+only ever get the textbook default of 1/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.plan.expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Opaque,
+    is_total,
+    split_conjuncts,
+)
+from repro.plan.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Pivot,
+    PlanNode,
+    Project,
+    Sample,
+    Scan,
+)
+
+#: Textbook default selectivity for a predicate nothing is known about.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+#: Fallback equality selectivity when the column's cardinality is unknown.
+EQUALITY_SELECTIVITY = 0.1
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Cheap per-column statistics used for selectivity estimation."""
+
+    row_count: int
+    distinct: int | None = None
+    minimum: float | None = None
+    maximum: float | None = None
+
+
+class PlanCatalog:
+    """What the optimizer may ask an engine about its tables.
+
+    Both hooks may return None ("unknown"); every rule degrades gracefully
+    to the statistics-free behaviour.
+    """
+
+    def columns_of(self, table: str) -> list[str] | None:
+        return None
+
+    def stats_of(self, table: str, column: str) -> ColumnStats | None:
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Predicate classification
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PredicateClass:
+    """Structural shape of one predicate, as far as the optimizer can see."""
+
+    expression: Expression
+    kind: str                 # range | equality | inequality | membership | opaque | general
+    column: str | None        # set when exactly one column is referenced
+    lower: float | None = None
+    upper: float | None = None
+
+
+def _numeric(value) -> float | None:
+    if isinstance(value, (bool, np.bool_)):
+        return float(value)
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return float(value)
+    return None
+
+
+_RANGE_SYMBOLS = {"<": "upper", "<=": "upper", ">": "lower", ">=": "lower"}
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def classify(expression: Expression) -> PredicateClass:
+    """Classify a predicate for pushdown and selectivity estimation."""
+    referenced = expression.columns_referenced()
+    column = next(iter(referenced)) if len(referenced) == 1 else None
+    if isinstance(expression, Opaque):
+        return PredicateClass(expression, "opaque", expression.column)
+    if isinstance(expression, InList) and isinstance(expression.operand, ColumnRef):
+        return PredicateClass(expression, "membership", expression.operand.name)
+    if isinstance(expression, Comparison) and type(expression) is Comparison:
+        symbol, constant = None, None
+        if isinstance(expression.left, ColumnRef) and isinstance(expression.right, Literal):
+            symbol, constant = expression.symbol, _numeric(expression.right.value)
+        elif isinstance(expression.left, Literal) and isinstance(expression.right, ColumnRef):
+            constant = _numeric(expression.left.value)
+            symbol = _FLIPPED.get(expression.symbol, expression.symbol)
+        if symbol == "=":
+            return PredicateClass(expression, "equality", column)
+        if symbol == "<>":
+            return PredicateClass(expression, "inequality", column)
+        if symbol in _RANGE_SYMBOLS and constant is not None:
+            bound = {_RANGE_SYMBOLS[symbol]: constant}
+            return PredicateClass(expression, "range", column, **bound)
+    return PredicateClass(expression, "general", column)
+
+
+def estimate_selectivity(predicate: PredicateClass, stats: ColumnStats | None) -> float:
+    """Estimated fraction of rows the predicate keeps (deterministic)."""
+    if predicate.kind in ("opaque", "general"):
+        return DEFAULT_SELECTIVITY
+    if stats is None:
+        if predicate.kind == "membership":
+            keys = predicate.expression.key_array()
+            return min(1.0, EQUALITY_SELECTIVITY * max(1, len(keys)))
+        if predicate.kind == "equality":
+            return EQUALITY_SELECTIVITY
+        if predicate.kind == "inequality":
+            return 1.0 - EQUALITY_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+    if predicate.kind == "equality":
+        return 1.0 / stats.distinct if stats.distinct else EQUALITY_SELECTIVITY
+    if predicate.kind == "inequality":
+        return 1.0 - (1.0 / stats.distinct if stats.distinct else EQUALITY_SELECTIVITY)
+    if predicate.kind == "membership":
+        keys = predicate.expression.key_array()
+        domain = stats.distinct or stats.row_count
+        if not domain:
+            return 1.0
+        return min(1.0, len(keys) / domain)
+    # Range: interpolate over the known [min, max] span.
+    if stats.minimum is None or stats.maximum is None:
+        return DEFAULT_SELECTIVITY
+    span = stats.maximum - stats.minimum
+    if span <= 0:
+        # Constant column: the predicate keeps all rows or none; without
+        # evaluating it, assume it was written to keep some.
+        return 1.0
+    lower = stats.minimum if predicate.lower is None else predicate.lower
+    upper = stats.maximum if predicate.upper is None else predicate.upper
+    return float(np.clip((upper - lower) / span, 0.0, 1.0))
+
+
+def _no_stats(_column):
+    """Stats resolver that knows nothing (single-conjunct short-circuit)."""
+    return None
+
+
+def ordered_conjuncts(expressions, stats_for):
+    """Split, classify and selectivity-order a conjunction of predicates.
+
+    Opaque predicates (legacy callables) are *ordering barriers*: the
+    optimizer cannot know whether an earlier-written predicate guards the
+    callable's domain (``where(col != 0)`` before a callable that divides),
+    so nothing moves across an opaque conjunct and the opaque conjunct
+    itself stays where it was written.  Declarative predicates reorder
+    freely within each barrier-delimited segment — they are total,
+    element-wise numpy operations.
+
+    Args:
+        expressions: iterable of predicate expressions (implicitly ANDed).
+        stats_for: callable ``column -> ColumnStats | None``.
+
+    Returns:
+        List of ``(expression, PredicateClass, selectivity)`` triples in
+        execution order — most selective first within each segment; ties
+        keep their written order (stable).
+    """
+    conjuncts: list[Expression] = []
+    for expression in expressions:
+        conjuncts.extend(split_conjuncts(expression))
+    if len(conjuncts) <= 1:
+        # Ordering a single conjunct is moot: skip the statistics lookups
+        # but keep the classification (it picks the encoding fast path).
+        stats_for = _no_stats
+    classified = [classify(conjunct) for conjunct in conjuncts]
+    estimates = [
+        estimate_selectivity(p, stats_for(p.column) if p.column else None)
+        for p in classified
+    ]
+    order: list[int] = []
+    segment: list[int] = []
+    for index, predicate in enumerate(classified):
+        if predicate.kind == "opaque":
+            order.extend(sorted(segment, key=lambda i: (estimates[i], i)))
+            order.append(index)  # the barrier stays in its written position
+            segment = []
+        else:
+            segment.append(index)
+    order.extend(sorted(segment, key=lambda i: (estimates[i], i)))
+    return [(conjuncts[i], classified[i], estimates[i]) for i in order]
+
+
+# --------------------------------------------------------------------------- #
+# Plan rewrite rules
+# --------------------------------------------------------------------------- #
+
+def split_filter_conjunctions(node: PlanNode) -> PlanNode:
+    """Turn every ``Filter(a & b)`` into stacked single-conjunct filters."""
+    node = _rebuild(node, split_filter_conjunctions)
+    if isinstance(node, Filter):
+        conjuncts = split_conjuncts(node.predicate)
+        if len(conjuncts) > 1:
+            child = node.child
+            for conjunct in reversed(conjuncts):
+                child = Filter(child, conjunct)
+            return child
+    return node
+
+
+def output_columns(node: PlanNode, catalog: PlanCatalog) -> list[str] | None:
+    """The column names a plan subtree produces (None when unknown)."""
+    if isinstance(node, Scan):
+        return catalog.columns_of(node.table)
+    if isinstance(node, (Filter, Sample)):
+        return output_columns(node.child, catalog)
+    if isinstance(node, Project):
+        return list(node.columns)
+    if isinstance(node, Join):
+        left = output_columns(node.left, catalog)
+        right = output_columns(node.right, catalog)
+        if left is None or right is None:
+            return None
+        return left + [name for name in right if name != node.right_key]
+    return None
+
+
+def push_filters_down(node: PlanNode, catalog: PlanCatalog) -> PlanNode:
+    """Move filters below projections and joins; never across a Sample.
+
+    Only *total* predicates (:func:`repro.plan.expressions.is_total`) move
+    below a join: there they run on rows the join eliminates, and a
+    partial operation (division, an opaque callable) may blow up on rows
+    it was never written to see.  Projection pushdown is always safe — it
+    does not change the row set.
+    """
+    node = _rebuild(node, lambda child: push_filters_down(child, catalog))
+    if not isinstance(node, Filter):
+        return node
+    child = node.child
+    referenced = node.predicate.columns_referenced()
+    if isinstance(child, Project) and referenced <= set(child.columns):
+        return Project(
+            push_filters_down(Filter(child.child, node.predicate), catalog),
+            child.columns,
+        )
+    if isinstance(child, Join) and is_total(node.predicate):
+        left_names = output_columns(child.left, catalog)
+        right_names = set(output_columns(child.right, catalog) or ())
+        if left_names is not None and referenced <= set(left_names):
+            return replace(
+                child,
+                left=push_filters_down(Filter(child.left, node.predicate), catalog),
+            )
+        if right_names and referenced <= right_names:
+            return replace(
+                child,
+                right=push_filters_down(Filter(child.right, node.predicate), catalog),
+            )
+    return node
+
+
+def _base_stats_for(node: PlanNode, catalog: PlanCatalog):
+    """Resolve ``column -> ColumnStats`` against the scans under ``node``."""
+    def stats_for(column: str):
+        return _find_column_stats(node, column, catalog)
+    return stats_for
+
+
+def _find_column_stats(node: PlanNode, column: str, catalog: PlanCatalog):
+    if isinstance(node, Scan):
+        names = catalog.columns_of(node.table)
+        if names is not None and column in names:
+            return catalog.stats_of(node.table, column)
+        return None
+    if isinstance(node, Join) and column == node.right_key:
+        # The join output drops the right key; the surviving copy is the left's.
+        return _find_column_stats(node.left, column, catalog)
+    for child in node.children():
+        found = _find_column_stats(child, column, catalog)
+        if found is not None:
+            return found
+    return None
+
+
+def reorder_filters(node: PlanNode, catalog: PlanCatalog) -> PlanNode:
+    """Sort each consecutive filter chain by estimated selectivity."""
+    if isinstance(node, Filter):
+        chain: list[Expression] = []
+        base = node
+        while isinstance(base, Filter):
+            chain.append(base.predicate)
+            base = base.child
+        base = _rebuild(base, lambda child: reorder_filters(child, catalog))
+        # ``chain`` is top-down but execution is bottom-up, so estimate in
+        # execution order (reversed) and wrap the most selective predicate
+        # first — innermost, i.e. executed first.
+        ordered = ordered_conjuncts(reversed(chain), _base_stats_for(base, catalog))
+        for expression, _, _ in ordered:
+            base = Filter(base, expression)
+        return base
+    return _rebuild(node, lambda child: reorder_filters(child, catalog))
+
+
+def prune_projections(node: PlanNode, catalog: PlanCatalog,
+                      required: set[str] | None = None) -> PlanNode:
+    """Wrap each scan in a projection of only the columns the plan reads."""
+    if isinstance(node, Aggregate):
+        needed = {node.group_by, node.value}
+        return replace(node, child=prune_projections(node.child, catalog, needed))
+    if isinstance(node, Pivot):
+        needed = {node.row_key, node.column_key, node.value}
+        return replace(node, child=prune_projections(node.child, catalog, needed))
+    if isinstance(node, Project):
+        return replace(
+            node, child=prune_projections(node.child, catalog, set(node.columns))
+        )
+    if isinstance(node, Filter):
+        needed = None if required is None else required | node.predicate.columns_referenced()
+        return replace(node, child=prune_projections(node.child, catalog, needed))
+    if isinstance(node, Sample):
+        return replace(node, child=prune_projections(node.child, catalog, required))
+    if isinstance(node, Join):
+        left_names = output_columns(node.left, catalog)
+        right_names = output_columns(node.right, catalog)
+        left_required = right_required = None
+        if required is not None and left_names is not None and right_names is not None:
+            left_required = (required & set(left_names)) | {node.left_key}
+            right_required = (required & set(right_names)) | {node.right_key}
+        return replace(
+            node,
+            left=prune_projections(node.left, catalog, left_required),
+            right=prune_projections(node.right, catalog, right_required),
+        )
+    if isinstance(node, Scan) and required is not None:
+        names = catalog.columns_of(node.table)
+        if names is not None and required < set(names):
+            kept = tuple(name for name in names if name in required)
+            return Project(node, kept)
+    return node
+
+
+def collapse_projects(node: PlanNode) -> PlanNode:
+    """Merge ``Project(Project(x, inner), outer)`` into one projection."""
+    node = _rebuild(node, collapse_projects)
+    if isinstance(node, Project) and isinstance(node.child, Project):
+        return Project(node.child.child, node.columns)
+    return node
+
+
+def optimize(node: PlanNode, catalog: PlanCatalog | None = None) -> PlanNode:
+    """Apply the rewrite rules in a fixed, deterministic order."""
+    catalog = catalog or PlanCatalog()
+    node = split_filter_conjunctions(node)
+    node = push_filters_down(node, catalog)
+    node = reorder_filters(node, catalog)
+    node = prune_projections(node, catalog)
+    node = collapse_projects(node)
+    return node
+
+
+def selectivity_annotator(plan: PlanNode, catalog: PlanCatalog):
+    """Build an ``explain`` annotator showing per-filter selectivity estimates."""
+    def annotate(node: PlanNode) -> str:
+        if isinstance(node, Filter):
+            predicate = classify(node.predicate)
+            stats_for = _base_stats_for(node.child, catalog)
+            stats = stats_for(predicate.column) if predicate.column else None
+            estimate = estimate_selectivity(predicate, stats)
+            return f"{predicate.kind} ~sel={estimate:.4f}"
+        return ""
+    return annotate
+
+
+def _rebuild(node: PlanNode, visit) -> PlanNode:
+    """Rebuild a node with ``visit`` applied to each child."""
+    if isinstance(node, (Filter, Project, Sample, Aggregate, Pivot)):
+        return replace(node, child=visit(node.child))
+    if isinstance(node, Join):
+        return replace(node, left=visit(node.left), right=visit(node.right))
+    return node

@@ -1,264 +1,54 @@
-"""Expression language for predicates, projections and computed columns.
+"""Row-store expression surface — now the shared AST from :mod:`repro.plan`.
 
-Expressions are small immutable trees evaluated against one row at a time
-(the row store's Volcano operators) — column references, literals,
-comparisons, boolean connectives and arithmetic.  The module also provides
-the tiny DSL used throughout the engine adapters::
+The row store used to keep a private expression tree here.  Since the
+plan-API redesign there is exactly one expression language for every
+engine: :mod:`repro.plan.expressions`.  The same ``col("x") < lit(5)``
+tree compiles to a per-row-tuple callable for the Volcano operators
+(:meth:`~repro.plan.expressions.Expression.bind` — the contract this
+module always had) *and* evaluates vectorised over numpy batches for the
+column store, where the planner also classifies it for predicate pushdown
+into the compression encodings.
 
-    from repro.relational import col, lit, and_
-
-    predicate = and_(col("function") < lit(250), col("length") >= lit(100))
+This module re-exports the shared names so existing imports
+(``from repro.relational.expressions import col``) keep working.
 """
 
 from __future__ import annotations
 
-import operator
-from dataclasses import dataclass
-from typing import Callable, Sequence
-
-from repro.relational.schema import Schema
-
-
-class Expression:
-    """Base class for all expressions."""
-
-    def bind(self, schema: Schema) -> "BoundExpression":
-        """Resolve column names to positions against ``schema``."""
-        raise NotImplementedError
-
-    def columns_referenced(self) -> set[str]:
-        """Return the set of column names this expression reads."""
-        raise NotImplementedError
-
-    # Operator overloads build comparison / arithmetic / boolean trees.
-
-    def __eq__(self, other):  # type: ignore[override]
-        return Comparison(self, _to_expression(other), operator.eq, "=")
-
-    def __ne__(self, other):  # type: ignore[override]
-        return Comparison(self, _to_expression(other), operator.ne, "<>")
-
-    def __lt__(self, other):
-        return Comparison(self, _to_expression(other), operator.lt, "<")
-
-    def __le__(self, other):
-        return Comparison(self, _to_expression(other), operator.le, "<=")
-
-    def __gt__(self, other):
-        return Comparison(self, _to_expression(other), operator.gt, ">")
-
-    def __ge__(self, other):
-        return Comparison(self, _to_expression(other), operator.ge, ">=")
-
-    def __add__(self, other):
-        return Arithmetic(self, _to_expression(other), operator.add, "+")
-
-    def __sub__(self, other):
-        return Arithmetic(self, _to_expression(other), operator.sub, "-")
-
-    def __mul__(self, other):
-        return Arithmetic(self, _to_expression(other), operator.mul, "*")
-
-    def __truediv__(self, other):
-        return Arithmetic(self, _to_expression(other), operator.truediv, "/")
-
-    def __and__(self, other):
-        return BooleanOp((self, _to_expression(other)), conjunction=True)
-
-    def __or__(self, other):
-        return BooleanOp((self, _to_expression(other)), conjunction=False)
-
-    def __invert__(self):
-        return Not(self)
-
-    def __hash__(self):
-        return id(self)
-
-    def isin(self, values: Sequence) -> "InList":
-        """Build an ``IN (...)`` membership predicate."""
-        return InList(self, tuple(values))
-
-
-@dataclass(frozen=True, eq=False)
-class BoundExpression:
-    """A compiled expression: a plain callable over a row tuple."""
-
-    function: Callable[[tuple], object]
-    description: str
-
-    def __call__(self, row: tuple):
-        return self.function(row)
-
-
-class ColumnRef(Expression):
-    """Reference to a named column."""
-
-    def __init__(self, name: str):
-        self.name = name
-
-    def bind(self, schema: Schema) -> BoundExpression:
-        index = schema.index_of(self.name)
-        return BoundExpression(lambda row, _i=index: row[_i], self.name)
-
-    def columns_referenced(self) -> set[str]:
-        return {self.name}
-
-    def __repr__(self) -> str:
-        return f"col({self.name!r})"
-
-
-class Literal(Expression):
-    """A constant value."""
-
-    def __init__(self, value):
-        self.value = value
-
-    def bind(self, schema: Schema) -> BoundExpression:
-        value = self.value
-        return BoundExpression(lambda row, _v=value: _v, repr(value))
-
-    def columns_referenced(self) -> set[str]:
-        return set()
-
-    def __repr__(self) -> str:
-        return f"lit({self.value!r})"
-
-
-class Comparison(Expression):
-    """Binary comparison between two sub-expressions."""
-
-    def __init__(self, left: Expression, right: Expression, op, symbol: str):
-        self.left = left
-        self.right = right
-        self.op = op
-        self.symbol = symbol
-
-    def bind(self, schema: Schema) -> BoundExpression:
-        left = self.left.bind(schema)
-        right = self.right.bind(schema)
-        op = self.op
-        return BoundExpression(
-            lambda row: op(left(row), right(row)),
-            f"({left.description} {self.symbol} {right.description})",
-        )
-
-    def columns_referenced(self) -> set[str]:
-        return self.left.columns_referenced() | self.right.columns_referenced()
-
-    def __repr__(self) -> str:
-        return f"({self.left!r} {self.symbol} {self.right!r})"
-
-
-class Arithmetic(Comparison):
-    """Binary arithmetic; shares the comparison plumbing."""
-
-
-class BooleanOp(Expression):
-    """N-ary AND / OR."""
-
-    def __init__(self, operands: Sequence[Expression], conjunction: bool):
-        if not operands:
-            raise ValueError("boolean operator needs at least one operand")
-        self.operands = tuple(operands)
-        self.conjunction = conjunction
-
-    def bind(self, schema: Schema) -> BoundExpression:
-        bound = [operand.bind(schema) for operand in self.operands]
-        if self.conjunction:
-            return BoundExpression(
-                lambda row: all(b(row) for b in bound),
-                " AND ".join(b.description for b in bound),
-            )
-        return BoundExpression(
-            lambda row: any(b(row) for b in bound),
-            " OR ".join(b.description for b in bound),
-        )
-
-    def columns_referenced(self) -> set[str]:
-        result: set[str] = set()
-        for operand in self.operands:
-            result |= operand.columns_referenced()
-        return result
-
-    def __repr__(self) -> str:
-        joiner = " AND " if self.conjunction else " OR "
-        return "(" + joiner.join(repr(op) for op in self.operands) + ")"
-
-
-class Not(Expression):
-    """Logical negation."""
-
-    def __init__(self, operand: Expression):
-        self.operand = operand
-
-    def bind(self, schema: Schema) -> BoundExpression:
-        bound = self.operand.bind(schema)
-        return BoundExpression(lambda row: not bound(row), f"NOT {bound.description}")
-
-    def columns_referenced(self) -> set[str]:
-        return self.operand.columns_referenced()
-
-    def __repr__(self) -> str:
-        return f"not_({self.operand!r})"
-
-
-class InList(Expression):
-    """Membership test against a literal set of values."""
-
-    def __init__(self, operand: Expression, values: tuple):
-        self.operand = operand
-        self.values = frozenset(values)
-
-    def bind(self, schema: Schema) -> BoundExpression:
-        bound = self.operand.bind(schema)
-        values = self.values
-        return BoundExpression(
-            lambda row: bound(row) in values,
-            f"{bound.description} IN {sorted(values)!r}",
-        )
-
-    def columns_referenced(self) -> set[str]:
-        return self.operand.columns_referenced()
-
-    def __repr__(self) -> str:
-        return f"{self.operand!r}.isin({sorted(self.values)!r})"
-
-
-def _to_expression(value) -> Expression:
-    """Wrap plain Python values as literals."""
-    if isinstance(value, Expression):
-        return value
-    return Literal(value)
-
-
-# --------------------------------------------------------------------------- #
-# DSL entry points
-# --------------------------------------------------------------------------- #
-
-def col(name: str) -> ColumnRef:
-    """Reference a column by name."""
-    return ColumnRef(name)
-
-
-def lit(value) -> Literal:
-    """Wrap a constant value."""
-    return Literal(value)
-
-
-def and_(*operands: Expression) -> Expression:
-    """Conjunction of one or more predicates."""
-    if len(operands) == 1:
-        return operands[0]
-    return BooleanOp(operands, conjunction=True)
-
-
-def or_(*operands: Expression) -> Expression:
-    """Disjunction of one or more predicates."""
-    if len(operands) == 1:
-        return operands[0]
-    return BooleanOp(operands, conjunction=False)
-
-
-def not_(operand: Expression) -> Not:
-    """Negate a predicate."""
-    return Not(operand)
+from repro.plan.expressions import (
+    Arithmetic,
+    BooleanOp,
+    BoundExpression,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    Not,
+    Opaque,
+    and_,
+    col,
+    lit,
+    not_,
+    or_,
+    split_conjuncts,
+)
+
+__all__ = [
+    "Arithmetic",
+    "BooleanOp",
+    "BoundExpression",
+    "ColumnRef",
+    "Comparison",
+    "Expression",
+    "InList",
+    "Literal",
+    "Not",
+    "Opaque",
+    "and_",
+    "col",
+    "lit",
+    "not_",
+    "or_",
+    "split_conjuncts",
+]

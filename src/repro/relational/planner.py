@@ -1,11 +1,15 @@
 """Logical plans and a rule-based optimizer for the row store.
 
-The planner is intentionally simple — about what the paper credits Hive with
-("rudimentary query optimization") plus the two rules that matter most for
+Predicates are the *shared* declarative AST from
+:mod:`repro.plan.expressions` — the same trees the column store's planner
+pushes into its compression encodings.  The row-store planner stays
+intentionally simple — about what the paper credits Hive with
+("rudimentary query optimization") plus the rules that matter most for
 the GenBase queries:
 
-* **predicate pushdown** — filters referencing only one side of a join are
-  pushed below the join;
+* **conjunction splitting + predicate pushdown** — a filter's conjuncts
+  are split (:func:`repro.plan.expressions.split_conjuncts`) and each one
+  referencing only one side of a join is pushed below it;
 * **build-side selection** — hash joins build on the smaller input, using
   table cardinalities from the catalog.
 
@@ -17,11 +21,10 @@ from :mod:`repro.relational.operators`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
 
+from repro.plan.expressions import Expression, and_, is_total, split_conjuncts
 from repro.relational import operators as ops
-from repro.relational.expressions import Expression, and_
-from repro.relational.schema import Schema
+from repro.relational.schema import Column, ColumnType, Schema
 from repro.relational.table import HeapTable
 
 
@@ -58,7 +61,10 @@ class ScanNode(LogicalNode):
         return self.table.row_count
 
 
-@dataclass(frozen=True)
+# eq=False: dataclass equality would delegate to Expression.__eq__, which
+# returns a comparison AST node (always truthy), making any two FilterNodes
+# with equal children compare equal.  Identity semantics are correct here.
+@dataclass(frozen=True, eq=False)
 class FilterNode(LogicalNode):
     """Selection."""
 
@@ -184,7 +190,17 @@ class AggregateNode(LogicalNode):
     aggregates: tuple[tuple[str, str, str], ...]
 
     def output_schema(self) -> Schema:
-        return self.to_physical().output_schema
+        # Derived logically (mirroring HashAggregate's output): building the
+        # physical operator tree just to read column names would make every
+        # downstream Query verb pay O(plan) operator construction.
+        input_schema = self.child.output_schema()
+        columns = [input_schema.column(name) for name in self.group_by]
+        for function, _column, output_name in self.aggregates:
+            if function == "count":
+                columns.append(Column(output_name, ColumnType.INT))
+            else:
+                columns.append(Column(output_name, ColumnType.FLOAT))
+        return Schema(columns)
 
     def children(self) -> tuple[LogicalNode, ...]:
         return (self.child,)
@@ -244,21 +260,48 @@ class LimitNode(LogicalNode):
 # --------------------------------------------------------------------------- #
 
 def push_down_filters(node: LogicalNode) -> LogicalNode:
-    """Push filters below joins when they reference only one side."""
+    """Push filters below joins when they reference only one side.
+
+    Conjunctions are split first, so ``a_left & b_right`` pushes ``a`` to
+    the left input and ``b`` to the right even though the whole predicate
+    references both sides.  A conjunct split out of a larger predicate is
+    only pushed when it is *total* (:func:`repro.plan.expressions.is_total`)
+    — below the join it would run on rows the join eliminates, and a
+    partial operation (division, an opaque callable) may blow up on them.
+    A predicate the caller wrote as a single filter keeps its historical
+    whole-predicate pushdown.
+    """
     if isinstance(node, FilterNode):
         child = push_down_filters(node.child)
         if isinstance(child, JoinNode):
-            referenced = node.predicate.columns_referenced()
             left_names = set(child.left.output_schema().names)
             right_names = set(child.right.output_schema().names)
-            if referenced <= left_names:
-                return replace(
-                    child, left=push_down_filters(FilterNode(child.left, node.predicate))
-                )
-            if referenced <= right_names:
-                return replace(
-                    child, right=push_down_filters(FilterNode(child.right, node.predicate))
-                )
+            push_left: list[Expression] = []
+            push_right: list[Expression] = []
+            keep: list[Expression] = []
+            conjuncts = split_conjuncts(node.predicate)
+            for conjunct in conjuncts:
+                referenced = conjunct.columns_referenced()
+                movable = len(conjuncts) == 1 or is_total(conjunct)
+                if not movable:
+                    keep.append(conjunct)
+                elif referenced <= left_names:
+                    push_left.append(conjunct)
+                elif referenced <= right_names:
+                    push_right.append(conjunct)
+                else:
+                    keep.append(conjunct)
+            if push_left or push_right:
+                left = child.left
+                right = child.right
+                if push_left:
+                    left = push_down_filters(FilterNode(left, and_(*push_left)))
+                if push_right:
+                    right = push_down_filters(FilterNode(right, and_(*push_right)))
+                pushed = replace(child, left=left, right=right)
+                if keep:
+                    return FilterNode(pushed, and_(*keep))
+                return pushed
         return FilterNode(child, node.predicate)
     if isinstance(node, ProjectNode):
         return ProjectNode(push_down_filters(node.child), node.columns)

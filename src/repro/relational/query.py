@@ -28,6 +28,16 @@ from repro.relational.schema import Schema
 from repro.relational.table import HeapTable
 
 
+def _scanned_tables(node: planner.LogicalNode) -> list[str]:
+    """Names of the base tables a plan reads (for error messages)."""
+    if isinstance(node, planner.ScanNode):
+        return [node.table.name]
+    names: list[str] = []
+    for child in node.children():
+        names.extend(_scanned_tables(child))
+    return names
+
+
 class Query:
     """An immutable builder wrapping a logical plan node."""
 
@@ -41,28 +51,56 @@ class Query:
         """Start a query from a base table."""
         return cls(planner.ScanNode(table))
 
+    # -- validation ----------------------------------------------------------------
+
+    def _check_columns(self, names: Sequence[str]) -> None:
+        """Raise KeyError naming the column and table(s) for unknown columns.
+
+        Every relational verb validates eagerly, so a typo surfaces at the
+        call site instead of deep inside operator binding at execution time
+        — mirroring the column store's behaviour.
+        """
+        available = self._node.output_schema().names
+        known = set(available)
+        for name in names:
+            if name not in known:
+                tables = _scanned_tables(self._node) or ["<derived>"]
+                raise KeyError(
+                    f"no column {name!r} in query over table(s) "
+                    f"{', '.join(repr(t) for t in tables)}; has {list(available)}"
+                )
+
     # -- relational verbs ---------------------------------------------------------
 
     def where(self, predicate: Expression) -> "Query":
         """Filter rows by a predicate expression."""
+        self._check_columns(sorted(predicate.columns_referenced()))
         return Query(planner.FilterNode(self._node, predicate))
 
     def select(self, *columns: str) -> "Query":
         """Project to the named columns."""
+        self._check_columns(columns)
         return Query(planner.ProjectNode(self._node, tuple(columns)))
 
     def join(self, other: "Query", on: tuple[str, str]) -> "Query":
         """Equi-join with another query; ``on`` is (left_key, right_key)."""
         left_key, right_key = on
+        self._check_columns([left_key])
+        other._check_columns([right_key])
         return Query(planner.JoinNode(self._node, other._node, left_key, right_key))
 
     def group_by(self, columns: Sequence[str],
                  aggregates: Sequence[tuple[str, str, str]]) -> "Query":
         """Group by ``columns`` computing ``(function, column, output_name)`` aggregates."""
+        referenced = list(columns) + [
+            column for _function, column, _name in aggregates if column != "*"
+        ]
+        self._check_columns(referenced)
         return Query(planner.AggregateNode(self._node, tuple(columns), tuple(aggregates)))
 
     def order_by(self, *keys: str, descending: bool = False) -> "Query":
         """Sort by the given key columns."""
+        self._check_columns(keys)
         return Query(planner.SortNode(self._node, tuple(keys), descending))
 
     def limit(self, n: int) -> "Query":

@@ -1,0 +1,725 @@
+"""Tests for the shared expression AST, logical plans and optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.colstore import ColumnStore, ColumnTable, ColumnQuery, ColumnVector
+from repro.colstore.planner import (
+    ColumnStoreCatalog,
+    explain_plan,
+    optimize_plan,
+    run_plan,
+)
+from repro.plan import (
+    Aggregate,
+    ColumnStats,
+    Filter,
+    Join,
+    Opaque,
+    Pivot,
+    Sample,
+    Scan,
+    and_,
+    classify,
+    col,
+    estimate_selectivity,
+    explain,
+    lit,
+    not_,
+    optimize,
+    ordered_conjuncts,
+    split_conjuncts,
+)
+from repro.relational import ColumnType, Database
+
+
+# --------------------------------------------------------------------------- #
+# Expression AST
+# --------------------------------------------------------------------------- #
+
+class TestExpressions:
+    def test_vectorised_evaluation_matches_row_binding(self):
+        class _Schema:
+            names = ("a", "b")
+
+            def index_of(self, name):
+                return list(self.names).index(name)
+
+        expression = ((col("a") * 2 + 1) > col("b")) & ~(col("a") == lit(3))
+        batch = {
+            "a": np.array([0, 1, 2, 3, 4]),
+            "b": np.array([10, 2, 4, 0, 3]),
+        }
+        vectorised = np.asarray(expression.evaluate(batch), dtype=bool)
+        bound = expression.bind(_Schema())
+        rows = list(zip(batch["a"].tolist(), batch["b"].tolist()))
+        np.testing.assert_array_equal(vectorised, [bool(bound(row)) for row in rows])
+
+    def test_split_conjuncts_flattens_nesting(self):
+        a, b, c, d = col("a") < 1, col("b") < 2, col("c") < 3, col("d") < 4
+        parts = split_conjuncts((a & b) & (c & d))
+        assert parts == [a, b, c, d]
+        parts = split_conjuncts(and_(a, b, c))
+        assert parts == [a, b, c]
+        # Disjunctions stay intact — as a whole and inside a conjunction.
+        assert len(split_conjuncts(a | b)) == 1
+        parts = split_conjuncts(a & (b | c))
+        assert len(parts) == 2 and parts[0] is a
+
+    def test_isin_keeps_ndarrays_without_python_round_trip(self):
+        keys = np.array([3, 1, 2, 2, 1], dtype=np.int64)
+        expression = col("x").isin(keys)
+        assert isinstance(expression.values, np.ndarray)
+        np.testing.assert_array_equal(expression.key_array(), [1, 2, 3])
+        # Mutating the caller's array must not leak into the expression.
+        keys[:] = 0
+        np.testing.assert_array_equal(expression.key_array(), [1, 2, 3])
+
+    def test_classification_kinds(self):
+        assert classify(col("x") < 5).kind == "range"
+        assert classify(lit(5) > col("x")).kind == "range"
+        assert classify(col("x") == 5).kind == "equality"
+        assert classify(col("x") != 5).kind == "inequality"
+        assert classify(col("x").isin([1, 2])).kind == "membership"
+        assert classify(Opaque("x", lambda v: v > 0)).kind == "opaque"
+        assert classify((col("x") < 5) | (col("x") > 9)).kind == "general"
+        assert classify(col("x") < col("y")).column is None
+
+    def test_not_and_or_evaluate(self):
+        batch = {"x": np.array([1, 5, 9])}
+        np.testing.assert_array_equal(
+            not_(col("x") < 5).evaluate(batch), [False, True, True]
+        )
+        np.testing.assert_array_equal(
+            ((col("x") < 2) | (col("x") > 8)).evaluate(batch), [True, False, True]
+        )
+
+
+class TestSelectivityEstimates:
+    def test_range_uses_min_max(self):
+        stats = ColumnStats(row_count=100, distinct=50, minimum=0.0, maximum=100.0)
+        assert estimate_selectivity(classify(col("x") < 25), stats) == pytest.approx(0.25)
+        assert estimate_selectivity(classify(col("x") >= 75), stats) == pytest.approx(0.25)
+        assert estimate_selectivity(classify(col("x") < 1000), stats) == 1.0
+
+    def test_equality_and_membership_use_distinct(self):
+        stats = ColumnStats(row_count=1000, distinct=200, minimum=0, maximum=199)
+        assert estimate_selectivity(classify(col("x") == 5), stats) == pytest.approx(1 / 200)
+        member = classify(col("x").isin([1, 2, 3, 4]))
+        assert estimate_selectivity(member, stats) == pytest.approx(4 / 200)
+
+    def test_opaque_gets_default(self):
+        stats = ColumnStats(row_count=10, distinct=2, minimum=0, maximum=1)
+        assert estimate_selectivity(classify(Opaque("x", lambda v: v > 0)), stats) == pytest.approx(1 / 3)
+
+    def test_opaque_is_an_ordering_barrier(self):
+        # An earlier-written declarative guard must keep protecting a
+        # later-written legacy callable: nothing moves across an opaque.
+        stats = {"x": ColumnStats(1000, minimum=0.0, maximum=100.0)}
+        guard = col("x") < 99            # unselective — would sort last
+        callable_ = Opaque("x", lambda v: v > 0)
+        selective = col("x") == 5        # selective — would sort first
+        ordered = ordered_conjuncts(
+            [guard, callable_, selective], lambda c: stats.get(c)
+        )
+        kinds = [predicate.kind for _, predicate, _ in ordered]
+        assert kinds == ["range", "opaque", "equality"]
+
+    def test_string_columns_get_no_range_bounds(self):
+        # Lexicographic dictionary endpoints ('100' < '99') must not leak
+        # into numeric range estimates.
+        column = ColumnVector(
+            "z", np.array(["100", "99", "99"]), encoding="dictionary"
+        )
+        stats = column.stats()
+        assert stats.minimum is None and stats.maximum is None
+        assert stats.distinct == 2
+
+    def test_ordered_conjuncts_most_selective_first_and_stable(self):
+        stats = {
+            "a": ColumnStats(1000, distinct=1000),
+            "b": ColumnStats(1000, minimum=0.0, maximum=100.0),
+        }
+        conjunction = (col("b") < 90) & (col("a") == 7) & (col("b") < 95)
+        ordered = ordered_conjuncts([conjunction], lambda c: stats.get(c))
+        kinds = [predicate.kind for _, predicate, _ in ordered]
+        assert kinds == ["equality", "range", "range"]
+        # The two range predicates keep their written order (stable ties? no —
+        # 0.90 < 0.95, so written order coincides with selectivity order).
+        estimates = [estimate for _, _, estimate in ordered]
+        assert estimates == sorted(estimates)
+
+
+# --------------------------------------------------------------------------- #
+# Optimizer rules on logical plans
+# --------------------------------------------------------------------------- #
+
+class _DictCatalog:
+    def __init__(self, columns, stats=None):
+        self._columns = columns
+        self._stats = stats or {}
+
+    def columns_of(self, table):
+        return self._columns.get(table)
+
+    def stats_of(self, table, column):
+        return self._stats.get((table, column))
+
+
+class TestPlanRules:
+    def test_conjunction_splits_pushes_and_prunes(self):
+        catalog = _DictCatalog({
+            "genes": ["gene_id", "target", "position", "length", "function"],
+            "microarray": ["gene_id", "patient_id", "expression_value"],
+        })
+        plan = Pivot(
+            Filter(
+                Join(Scan("genes"), Scan("microarray"), "gene_id", "gene_id"),
+                (col("function") < 10) & (col("expression_value") > 0.5),
+            ),
+            "patient_id", "gene_id", "expression_value",
+        )
+        optimized = optimize(plan, catalog)
+        text = explain(optimized)
+        assert text == (
+            "Pivot rows=patient_id cols=gene_id value=expression_value\n"
+            "  Join gene_id = gene_id\n"
+            "    Filter (col('function') < lit(10))\n"
+            "      Project ['gene_id', 'function']\n"
+            "        Scan genes\n"
+            "    Filter (col('expression_value') > lit(0.5))\n"
+            "      Scan microarray"
+        )
+
+    def test_partial_conjuncts_stay_above_the_join(self):
+        # A division conjunct must not move below the join: there it would
+        # run on rows the join eliminates (e.g. a divisor of 0).
+        catalog = _DictCatalog({
+            "l": ["id", "a", "b"],
+            "r": ["id", "w"],
+        })
+        plan = Filter(
+            Join(Scan("l"), Scan("r"), "id", "id"),
+            (col("b") / col("a") > 1) & (col("w") < 5),
+        )
+        optimized = optimize(plan, catalog)
+        text = explain(optimized)
+        lines = text.splitlines()
+        # The total right-side conjunct pushed below; the division stayed up.
+        assert lines[0].strip() == "Filter ((col('b') / col('a')) > lit(1))"
+        assert "Join" in lines[1]
+        assert any("(col('w') < lit(5))" in line and line.startswith("    ") for line in lines)
+
+    def test_sample_is_a_pushdown_barrier(self):
+        catalog = _DictCatalog({"t": ["a", "b"]})
+        plan = Filter(Sample(Scan("t"), 0.5, seed=1), col("a") < 3)
+        optimized = optimize(plan, catalog)
+        assert isinstance(optimized, Filter)
+        assert isinstance(optimized.child, Sample)
+
+    def test_filters_reorder_by_selectivity(self):
+        catalog = _DictCatalog(
+            {"t": ["a", "b"]},
+            {
+                ("t", "a"): ColumnStats(1000, distinct=500),
+                ("t", "b"): ColumnStats(1000, minimum=0.0, maximum=100.0),
+            },
+        )
+        plan = Filter(Filter(Scan("t"), col("b") < 90), col("a") == 1)
+        optimized = optimize(plan, catalog)
+        # Innermost (executed first) must be the 1/500 equality, not the 90%
+        # range filter the plan listed first.
+        assert repr(optimized.predicate) == "(col('b') < lit(90))"
+        assert repr(optimized.child.predicate) == "(col('a') = lit(1))"
+
+    def test_projection_pruning_skips_full_width_scans(self):
+        catalog = _DictCatalog({"t": ["a", "b"]})
+        plan = Aggregate(Scan("t"), "a", "b", "mean")
+        optimized = optimize(plan, catalog)
+        assert isinstance(optimized.child, Scan)  # nothing to prune
+
+
+# --------------------------------------------------------------------------- #
+# The five GenBase data-management plans on the column store
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def genbase_store(tiny_dataset) -> ColumnStore:
+    store = ColumnStore("genbase")
+    micro = tiny_dataset.microarray_relational()
+    store.create_table(
+        "microarray",
+        {
+            "gene_id": micro[:, 0].astype(np.int64),
+            "patient_id": micro[:, 1].astype(np.int64),
+            "expression_value": micro[:, 2],
+        },
+    )
+    store.create_table(
+        "genes",
+        {
+            "gene_id": tiny_dataset.genes.gene_id,
+            "target": tiny_dataset.genes.target,
+            "position": tiny_dataset.genes.position,
+            "length": tiny_dataset.genes.length,
+            "function": tiny_dataset.genes.function,
+        },
+    )
+    store.create_table(
+        "patients",
+        {
+            "patient_id": tiny_dataset.patients.patient_id,
+            "age": tiny_dataset.patients.age,
+            "gender": tiny_dataset.patients.gender,
+            "zipcode": tiny_dataset.patients.zipcode,
+            "disease_id": tiny_dataset.patients.disease_id,
+            "drug_response": tiny_dataset.patients.drug_response,
+        },
+    )
+    return store
+
+
+def _gene_filter_pivot_plan(threshold):
+    """Q1/Q4 data management: genes(function < t) ⋈ microarray → pivot."""
+    return Pivot(
+        Filter(
+            Join(Scan("genes"), Scan("microarray"), "gene_id", "gene_id"),
+            col("function") < threshold,
+        ),
+        "patient_id", "gene_id", "expression_value",
+    )
+
+
+def _patient_filter_pivot_plan(predicate):
+    """Q2/Q3 data management: patients(pred) ⋈ microarray → pivot."""
+    return Pivot(
+        Filter(
+            Join(Scan("patients"), Scan("microarray"), "patient_id", "patient_id"),
+            predicate,
+        ),
+        "patient_id", "gene_id", "expression_value",
+    )
+
+
+class TestGenBasePlans:
+    """Snapshot + equivalence tests: the rules fire on all five queries."""
+
+    def test_q1_regression_plan_snapshot(self, genbase_store):
+        optimized = optimize_plan(_gene_filter_pivot_plan(10), genbase_store)
+        assert explain(optimized) == (
+            "Pivot rows=patient_id cols=gene_id value=expression_value\n"
+            "  Join gene_id = gene_id\n"
+            "    Filter (col('function') < lit(10))\n"
+            "      Project ['gene_id', 'function']\n"
+            "        Scan genes\n"
+            "    Scan microarray"
+        )
+
+    def test_q2_covariance_plan_snapshot(self, genbase_store):
+        plan = _patient_filter_pivot_plan(col("disease_id").isin([1, 3]))
+        optimized = optimize_plan(plan, genbase_store)
+        assert explain(optimized) == (
+            "Pivot rows=patient_id cols=gene_id value=expression_value\n"
+            "  Join patient_id = patient_id\n"
+            "    Filter col('disease_id').isin([1, 3])\n"
+            "      Project ['patient_id', 'disease_id']\n"
+            "        Scan patients\n"
+            "    Scan microarray"
+        )
+
+    def test_q3_biclustering_plan_pushdown_and_reorder(self, genbase_store):
+        plan = _patient_filter_pivot_plan(
+            (col("age") < 40) & (col("gender") == 1)
+        )
+        optimized = optimize_plan(plan, genbase_store)
+        text = explain(optimized)
+        # Both conjuncts pushed below the join onto the patients side, the
+        # scan pruned to the three referenced columns.
+        assert "Join patient_id = patient_id" in text
+        assert text.count("Filter") == 2
+        assert "Project ['patient_id', 'age', 'gender']" in text
+        # The filters sit in selectivity order: innermost (deepest) first.
+        lines = [line.strip() for line in text.splitlines() if "Filter" in line]
+        catalog = ColumnStoreCatalog(genbase_store)
+        stats = {c: catalog.stats_of("patients", c) for c in ("age", "gender")}
+        ordered = ordered_conjuncts(
+            [(col("age") < 40) & (col("gender") == 1)], lambda c: stats.get(c)
+        )
+        # ordered[0] is most selective = executed first = deepest line.
+        assert lines[-1] == f"Filter {ordered[0][0]!r}"
+
+    def test_q4_svd_plan_snapshot(self, genbase_store):
+        # Same DM shape as Q1 with the SVD threshold; rules must still fire.
+        optimized = optimize_plan(_gene_filter_pivot_plan(25), genbase_store)
+        text = explain(optimized)
+        assert "Project ['gene_id', 'function']" in text
+        assert text.splitlines()[2].strip().startswith("Filter")
+
+    def test_q5_statistics_plan_snapshot(self, genbase_store):
+        sampled = np.array([0, 2, 5], dtype=np.int64)
+        plan = Aggregate(
+            Filter(Scan("microarray"), col("patient_id").isin(sampled)),
+            "gene_id", "expression_value", "mean",
+        )
+        optimized = optimize_plan(plan, genbase_store)
+        assert explain(optimized) == (
+            "Aggregate mean(expression_value) by gene_id\n"
+            "  Filter col('patient_id').isin([0, 2, 5])\n"
+            "    Scan microarray"
+        )
+
+    @pytest.mark.parametrize("build", [
+        lambda: _gene_filter_pivot_plan(10),
+        lambda: _patient_filter_pivot_plan(col("disease_id").isin([1, 3])),
+        lambda: _patient_filter_pivot_plan((col("age") < 40) & (col("gender") == 1)),
+        lambda: _gene_filter_pivot_plan(25),
+    ])
+    def test_optimized_pivot_plans_match_unoptimized(self, genbase_store, build):
+        fast = run_plan(build(), genbase_store, optimized=True)
+        slow = run_plan(build(), genbase_store, optimized=False)
+        for fast_part, slow_part in zip(fast, slow):
+            np.testing.assert_array_equal(fast_part, slow_part)
+
+    def test_optimized_aggregate_matches_unoptimized_and_query(self, genbase_store):
+        sampled = np.array([0, 2, 5], dtype=np.int64)
+        plan = Aggregate(
+            Filter(Scan("microarray"), col("patient_id").isin(sampled)),
+            "gene_id", "expression_value", "mean",
+        )
+        fast_keys, fast_values = run_plan(plan, genbase_store, optimized=True)
+        slow_keys, slow_values = run_plan(plan, genbase_store, optimized=False)
+        reference = (
+            genbase_store.query("microarray")
+            .where_in("patient_id", sampled)
+            .group_aggregate("gene_id", "expression_value", "mean")
+        )
+        np.testing.assert_array_equal(fast_keys, slow_keys)
+        np.testing.assert_array_equal(fast_values, slow_values)
+        np.testing.assert_array_equal(fast_keys, reference[0])
+        np.testing.assert_array_equal(fast_values, reference[1])
+
+    def test_explain_plan_annotates_selectivities(self, genbase_store):
+        optimized = optimize_plan(_gene_filter_pivot_plan(10), genbase_store)
+        text = explain_plan(optimized, genbase_store)
+        assert "~sel=" in text and "range" in text
+
+
+# --------------------------------------------------------------------------- #
+# Lazy ColumnQuery behaviour
+# --------------------------------------------------------------------------- #
+
+def _chain_table():
+    rng = np.random.default_rng(5)
+    n = 400
+    return ColumnTable(
+        "t",
+        [
+            ColumnVector("category", rng.integers(0, 50, n), encoding="dictionary"),
+            ColumnVector("status", np.sort(rng.integers(0, 8, n)), encoding="rle"),
+            ColumnVector("score", rng.random(n), encoding="plain"),
+        ],
+    )
+
+
+class TestLazyColumnQuery:
+    def test_legacy_guard_pattern_still_protects_callable(self):
+        # Seed behaviour: a callable written after a filter only ever saw
+        # the surviving values.  The optimizer must not hoist it — here the
+        # guard estimates at ~1.0 selectivity (dictionary stats), so plain
+        # selectivity sorting *would* run the 1/3-estimate callable first.
+        table = ColumnTable(
+            "t", [ColumnVector("x", np.arange(5), encoding="dictionary")]
+        )
+
+        def fragile(values):
+            if (values == 0).any():
+                raise AssertionError("guard was bypassed")
+            return 10 % values == 0
+
+        with pytest.warns(DeprecationWarning):
+            query = ColumnQuery(table).where(col("x") > 0).where("x", fragile)
+        np.testing.assert_array_equal(query.selection, [1, 2])  # x in {1, 2}
+
+    def test_where_expression_matches_callable_shim(self):
+        table = _chain_table()
+        declarative = ColumnQuery(table).where(col("category") < 20)
+        with pytest.warns(DeprecationWarning):
+            shim = ColumnQuery(table).where("category", lambda v: v < 20)
+        np.testing.assert_array_equal(declarative.selection, shim.selection)
+
+    def test_selection_is_cached_and_filters_stack(self):
+        table = _chain_table()
+        query = ColumnQuery(table).where(
+            (col("category") == 3) & (col("status") < 5) & (col("score") > 0.2)
+        )
+        values = table.column("category").values()
+        status = table.column("status").values()
+        score = table.column("score").values()
+        expected = np.flatnonzero((values == 3) & (status < 5) & (score > 0.2))
+        np.testing.assert_array_equal(query.selection, expected)
+        assert query.selection is query.selection  # cached
+
+    def test_explain_orders_most_selective_first(self):
+        table = _chain_table()
+        query = (
+            ColumnQuery(table)
+            .where(col("status") < 7)           # ~7/8 of rows
+            .where(col("category") == 3)        # ~1/50 of rows
+        )
+        lines = query.explain().splitlines()
+        assert "category" in lines[1] and "equality" in lines[1]
+        assert "status" in lines[2] and "range" in lines[2]
+
+    def test_select_and_collect_prune_columns(self):
+        table = _chain_table()
+        result = (
+            ColumnQuery(table)
+            .where(col("category") == 3)
+            .select("score", "status")
+            .collect("narrow")
+        )
+        assert result.column_names == ["score", "status"]
+        with pytest.raises(KeyError, match="category"):
+            result.column("category")
+
+    def test_select_unknown_column_raises(self):
+        table = _chain_table()
+        with pytest.raises(KeyError, match="missing"):
+            ColumnQuery(table).select("missing")
+
+    def test_or_and_not_predicates_execute(self):
+        table = _chain_table()
+        values = table.column("category").values()
+        query = ColumnQuery(table).where(
+            (col("category") < 5) | ~(col("category") < 40)
+        )
+        expected = np.flatnonzero((values < 5) | ~(values < 40))
+        np.testing.assert_array_equal(query.selection, expected)
+
+    def test_multi_column_predicate(self):
+        table = _chain_table()
+        query = ColumnQuery(table).where(col("category") * 0.01 < col("score"))
+        category = table.column("category").values()
+        score = table.column("score").values()
+        np.testing.assert_array_equal(
+            query.selection, np.flatnonzero(category * 0.01 < score)
+        )
+
+
+class TestSampleComposition:
+    """Regression: sampling must depend only on the selected row *set*."""
+
+    def test_sample_ignores_prior_selection_order(self):
+        table = _chain_table()
+        first = (
+            ColumnQuery(table)
+            .where(col("status") < 5)
+            .where(col("category") < 25)
+            .sample(0.3, seed=9)
+        )
+        second = (
+            ColumnQuery(table)
+            .where(col("category") < 25)
+            .where(col("status") < 5)
+            .sample(0.3, seed=9)
+        )
+        np.testing.assert_array_equal(first.selection, second.selection)
+        # Even an explicitly shuffled selection vector samples the same rows.
+        base = ColumnQuery(table).where(col("category") < 25).selection
+        shuffled = np.random.default_rng(0).permutation(base)
+        from_sorted = ColumnQuery(table, np.sort(base)).sample(0.5, seed=4)
+        from_shuffled = ColumnQuery(table, shuffled).sample(0.5, seed=4)
+        np.testing.assert_array_equal(from_sorted.selection, from_shuffled.selection)
+
+    def test_narrowing_after_sample_composes(self):
+        table = _chain_table()
+        sampled = ColumnQuery(table).where(col("status") < 5).sample(0.4, seed=2)
+        narrowed = sampled.where(col("category") < 10)
+        # Narrowing after the sample keeps exactly the sampled rows that
+        # satisfy the new predicate — the sample never re-rolls.
+        category = table.column("category").values()
+        expected = sampled.selection[category[sampled.selection] < 10]
+        np.testing.assert_array_equal(narrowed.selection, expected)
+
+    def test_sample_seed_behaviour(self):
+        table = _chain_table()
+        query = ColumnQuery(table)
+        np.testing.assert_array_equal(
+            query.sample(0.2, seed=3).selection, query.sample(0.2, seed=3).selection
+        )
+        assert not np.array_equal(
+            query.sample(0.2, seed=3).selection, query.sample(0.2, seed=4).selection
+        )
+        assert len(query.sample(0.25, seed=1)) == max(1, round(0.25 * len(query)))
+
+
+# --------------------------------------------------------------------------- #
+# Uniform unknown-column errors (colstore + relational)
+# --------------------------------------------------------------------------- #
+
+class TestUniformUnknownColumnErrors:
+    def test_colstore_errors_name_column_and_table(self):
+        table = _chain_table()
+        query = ColumnQuery(table)
+        cases = [
+            lambda: query.where(col("missing") < 1),
+            lambda: query.where("missing", lambda v: v > 0),
+            lambda: query.where_in("missing", [1]),
+            lambda: query.column("missing"),
+            lambda: query.group_aggregate("missing", "score"),
+            lambda: query.group_aggregate("category", "missing"),
+            lambda: query.select("missing"),
+            lambda: query.distinct("missing"),
+            lambda: query.pivot("missing", "category", "score"),
+        ]
+        for case in cases:
+            with pytest.raises(KeyError, match=r"missing.*'t'"):
+                with np.errstate(all="ignore"):
+                    case()
+
+    def test_relational_errors_name_column_and_table(self):
+        db = Database("g")
+        db.create_table("people", [("id", ColumnType.INT), ("x", ColumnType.FLOAT)])
+        db.load_array("people", np.array([[1, 0.5], [2, 1.5]]))
+        query = db.query("people")
+        cases = [
+            lambda: query.where(col("missing") < 1),
+            lambda: query.select("missing"),
+            lambda: query.group_by(["missing"], [("count", "*", "n")]),
+            lambda: query.group_by(["id"], [("avg", "missing", "m")]),
+            lambda: query.order_by("missing"),
+            lambda: query.join(db.query("people"), on=("missing", "id")),
+            lambda: query.join(db.query("people"), on=("id", "missing")),
+        ]
+        for case in cases:
+            with pytest.raises(KeyError, match=r"missing.*'people'"):
+                case()
+
+    def test_row_store_division_conjunct_not_pushed_below_join(self):
+        # Regression: splitting a mixed conjunction must not push a partial
+        # (division) conjunct below the join, where it would divide by the
+        # a=0 row the join eliminates.
+        db = Database("g")
+        db.create_table("l", [("id", ColumnType.INT), ("a", ColumnType.INT),
+                              ("b", ColumnType.INT)])
+        db.load_array("l", np.array([[1, 2, 10], [2, 0, 5]]))
+        db.create_table("r", [("id", ColumnType.INT), ("tag", ColumnType.INT)])
+        db.load_array("r", np.array([[1, 7]]))
+        rows = (
+            db.query("l")
+            .join(db.query("r"), on=("id", "id"))
+            .where((col("tag") == lit(7)) & (col("b") / col("a") > lit(1)))
+            .rows()
+        )
+        assert rows == [(1, 2, 10, 1, 7)]  # l.id, a, b, id_right, tag
+
+    def test_valid_aggregates_still_pass_validation(self):
+        db = Database("g")
+        db.create_table("people", [("id", ColumnType.INT), ("x", ColumnType.FLOAT)])
+        db.load_array("people", np.array([[1, 0.5], [2, 1.5]]))
+        rows = db.query("people").group_by([], [("count", "*", "n")]).rows()
+        assert rows == [(2,)]
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: optimized execution is result-identical
+# --------------------------------------------------------------------------- #
+
+ENCODINGS = ("plain", "rle", "dictionary", "delta")
+
+group_arrays = st.one_of(
+    hnp.arrays(dtype=np.int64, shape=st.integers(0, 150), elements=st.integers(-50, 50)),
+    hnp.arrays(dtype=np.int64, shape=st.integers(0, 150), elements=st.integers(-50, 50)).map(np.sort),
+    hnp.arrays(dtype=np.int64, shape=st.integers(0, 150), elements=st.integers(-50, 50)).map(lambda a: a % 5),
+)
+
+
+def _build_tables(groups):
+    """One compressed table per forced encoding plus the plain reference."""
+    payload = np.arange(len(groups), dtype=np.int64)
+    score = (groups * 7 % 11).astype(np.float64)
+    tables = {}
+    for encoding in ENCODINGS:
+        tables[encoding] = ColumnTable(
+            f"t_{encoding}",
+            [
+                ColumnVector("g", np.sort(groups) if encoding == "delta" else groups,
+                             encoding=encoding),
+                ColumnVector("payload", payload),
+                ColumnVector("score", score),
+            ],
+        )
+    return tables
+
+
+class TestOptimizedExecutionProperties:
+    @given(group_arrays, st.integers(-50, 50), st.integers(-50, 50), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_optimized_conjunction_identical_to_plain_decode(
+        self, groups, low, high, data
+    ):
+        keys = data.draw(
+            hnp.arrays(dtype=np.int64, shape=st.integers(0, 8),
+                       elements=st.integers(-50, 50))
+        )
+        for encoding in ENCODINGS:
+            column = np.sort(groups) if encoding == "delta" else groups
+            table = ColumnTable(
+                "t",
+                [
+                    ColumnVector("g", column, encoding=encoding),
+                    ColumnVector("payload", np.arange(len(column), dtype=np.int64)),
+                ],
+            )
+            predicates = [col("g") >= low, col("g") != high]
+            expected = (column >= low) & (column != high)
+            if keys.size:
+                predicates.append(col("g").isin(keys))
+                expected &= np.isin(column, keys)
+            # Lazy, selectivity-ordered execution of the whole conjunction...
+            query = ColumnQuery(table)
+            for predicate in predicates:
+                query = query.where(predicate)
+            # ...must match the plain, decoded, written-order evaluation.
+            np.testing.assert_array_equal(
+                query.selection, np.flatnonzero(expected),
+                err_msg=f"selection mismatch for {encoding}",
+            )
+            np.testing.assert_array_equal(
+                query.column("payload"), np.flatnonzero(expected),
+                err_msg=f"gather mismatch for {encoding}",
+            )
+
+    @given(group_arrays, st.integers(-50, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_plan_execution_optimized_equals_unoptimized(self, groups, threshold):
+        for encoding in ENCODINGS:
+            column = np.sort(groups) if encoding == "delta" else groups
+            store = ColumnStore("prop")
+            store.register(ColumnTable(
+                "t",
+                [
+                    ColumnVector("g", column, encoding=encoding),
+                    ColumnVector("v", (column % 7).astype(np.float64)),
+                ],
+            ))
+            plan = Aggregate(
+                Filter(Scan("t"), (col("g") < threshold) & (col("g") != 0)),
+                "g", "v", "sum",
+            )
+            fast = run_plan(plan, store, optimized=True)
+            slow = run_plan(plan, store, optimized=False)
+            mask = (column < threshold) & (column != 0)
+            keys, inverse = np.unique(column[mask], return_inverse=True)
+            expected = np.bincount(
+                inverse, weights=(column[mask] % 7).astype(np.float64),
+                minlength=len(keys),
+            )
+            np.testing.assert_array_equal(fast[0], slow[0])
+            np.testing.assert_array_equal(fast[1], slow[1])
+            np.testing.assert_array_equal(fast[0], keys)
+            np.testing.assert_array_equal(fast[1], expected)

