@@ -81,7 +81,12 @@ from repro.colstore.compression import (
 )
 from repro.colstore.table import ColumnTable
 from repro.colstore.catalog import ColumnStore
-from repro.colstore.query import ColumnQuery, merge_join_positions
+from repro.colstore.query import (
+    ColumnQuery,
+    JoinedQuery,
+    materialise_join,
+    merge_join_positions,
+)
 from repro.colstore.planner import (
     ColumnStoreCatalog,
     explain_plan,
@@ -103,6 +108,8 @@ __all__ = [
     "ColumnTable",
     "ColumnStore",
     "ColumnQuery",
+    "JoinedQuery",
+    "materialise_join",
     "merge_join_positions",
     "ColumnStoreCatalog",
     "explain_plan",

@@ -7,6 +7,16 @@ encodings' statistics to the optimizer, and :func:`run_plan` lowers an
 lazy filter pipeline maps range/equality/membership predicates straight
 onto the dictionary/RLE/delta fast paths.
 
+Plans may scan either a named :class:`ColumnStore` table or a *binding* —
+a base :class:`ColumnQuery` supplied by the caller (the lazy
+:class:`~repro.colstore.query.JoinedQuery` builder uses bindings so a
+sampled or pre-narrowed input can still join through the fused path).
+Joins execute through :func:`~repro.colstore.query.materialise_join`,
+honouring the optimizer's build-side annotation and materialising the
+(projection-pruned) output *uncompressed*: a join intermediate is consumed
+once by the aggregate/pivot on top of it, so re-encoding it would cost
+more than it could ever save.
+
 Relational-algebra subtrees produce a :class:`ColumnQuery` (call
 ``collect()`` for a table); :class:`~repro.plan.logical.Aggregate` returns
 ``(group_keys, aggregates)`` and :class:`~repro.plan.logical.Pivot`
@@ -16,8 +26,10 @@ returns ``(matrix, row_labels, column_labels)``, matching the eager
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.colstore.catalog import ColumnStore
-from repro.colstore.query import ColumnQuery
+from repro.colstore.query import ColumnQuery, materialise_join
 from repro.plan import logical
 from repro.plan.expressions import Expression
 from repro.plan.logical import explain
@@ -30,75 +42,119 @@ from repro.plan.optimizer import (
 
 
 class ColumnStoreCatalog(PlanCatalog):
-    """Expose a :class:`ColumnStore`'s schemas and encoding stats to the optimizer."""
+    """Expose a :class:`ColumnStore`'s schemas and encoding stats to the optimizer.
 
-    def __init__(self, store: ColumnStore):
+    ``bindings`` maps scan names to base :class:`ColumnQuery` objects; a
+    bound scan answers schema and statistics questions from its table, and
+    its row-count estimate reflects the binding's pre-narrowed selection.
+    """
+
+    def __init__(self, store: ColumnStore | None = None,
+                 bindings: Mapping[str, ColumnQuery] | None = None):
         self.store = store
+        self.bindings = dict(bindings or {})
+
+    def _table_for(self, name: str):
+        binding = self.bindings.get(name)
+        if binding is not None:
+            return binding.table
+        if self.store is not None and name in self.store:
+            return self.store.table(name)
+        return None
 
     def columns_of(self, table: str) -> list[str] | None:
-        if table not in self.store:
-            return None
-        return self.store.table(table).column_names
+        found = self._table_for(table)
+        return None if found is None else found.column_names
 
     def stats_of(self, table: str, column: str) -> ColumnStats | None:
-        if table not in self.store:
+        found = self._table_for(table)
+        if found is None:
             return None
         try:
-            return self.store.table(table).column(column).stats()
+            return found.column(column).stats()
         except KeyError:
             return None
 
+    def row_count_of(self, table: str) -> int | None:
+        binding = self.bindings.get(table)
+        if binding is not None and binding._base is not None:
+            return len(binding._base)
+        found = self._table_for(table)
+        return None if found is None else found.row_count
 
-def optimize_plan(plan: logical.PlanNode, store: ColumnStore) -> logical.PlanNode:
-    """Optimize a plan with the store's schemas and statistics."""
-    return optimize(plan, ColumnStoreCatalog(store))
+
+def optimize_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
+                  bindings: Mapping[str, ColumnQuery] | None = None) -> logical.PlanNode:
+    """Optimize a plan with the store's (and bindings') schemas and statistics."""
+    return optimize(plan, ColumnStoreCatalog(store, bindings))
 
 
-def explain_plan(plan: logical.PlanNode, store: ColumnStore | None = None) -> str:
-    """Render a plan; with a store, filters carry selectivity estimates."""
-    if store is None:
+def explain_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
+                 bindings: Mapping[str, ColumnQuery] | None = None) -> str:
+    """Render a plan; with a store or bindings, filters carry selectivity estimates."""
+    if store is None and bindings is None:
         return explain(plan)
-    catalog = ColumnStoreCatalog(store)
+    catalog = ColumnStoreCatalog(store, bindings)
     return explain(plan, selectivity_annotator(plan, catalog))
 
 
-def run_plan(plan: logical.PlanNode, store: ColumnStore, optimized: bool = True):
-    """Execute a logical plan against the store.
+def run_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
+             optimized: bool = True,
+             bindings: Mapping[str, ColumnQuery] | None = None):
+    """Execute a logical plan against the store and/or scan bindings.
+
+    The single entry point behind every fused pipeline: relational-algebra
+    plans return a lazy :class:`ColumnQuery`; an ``Aggregate`` terminal
+    returns ``(group_keys, aggregates)`` and a ``Pivot`` terminal returns
+    ``(matrix, row_labels, column_labels)``.  A terminal directly above a
+    ``Join`` consumes the pruned, uncompressed join output — the fused
+    join → aggregate/pivot path.
 
     Args:
         plan: the logical plan tree.
-        store: the column store holding the scanned tables.
+        store: the column store holding the scanned tables (optional when
+            every scan is covered by ``bindings``).
         optimized: apply the rule-based optimizer first (pass False to
             execute the plan exactly as written — the equivalence tests
             compare both paths).
+        bindings: scan name → base :class:`ColumnQuery` overrides.
     """
     if optimized:
-        plan = optimize_plan(plan, store)
+        plan = optimize_plan(plan, store, bindings)
     if isinstance(plan, logical.Aggregate):
-        query = _query_for(plan.child, store)
+        query = _query_for(plan.child, store, bindings)
         return query.group_aggregate(plan.group_by, plan.value, plan.function)
     if isinstance(plan, logical.Pivot):
-        query = _query_for(plan.child, store)
+        query = _query_for(plan.child, store, bindings)
         return query.pivot(plan.row_key, plan.column_key, plan.value)
-    return _query_for(plan, store)
+    return _query_for(plan, store, bindings)
 
 
-def _query_for(node: logical.PlanNode, store: ColumnStore) -> ColumnQuery:
+def _query_for(node: logical.PlanNode, store: ColumnStore | None,
+               bindings: Mapping[str, ColumnQuery] | None) -> ColumnQuery:
     """Lower a relational-algebra subtree onto a lazy ColumnQuery."""
     if isinstance(node, logical.Scan):
+        if bindings and node.table in bindings:
+            binding = bindings[node.table]
+            return ColumnQuery(binding.table, binding._base)
+        if store is None:
+            raise KeyError(
+                f"no binding named {node.table!r} and no store to scan it from"
+            )
         return store.query(node.table)
     if isinstance(node, logical.Filter):
         predicate: Expression = node.predicate
-        return _query_for(node.child, store).where(predicate)
+        return _query_for(node.child, store, bindings).where(predicate)
     if isinstance(node, logical.Project):
-        return _query_for(node.child, store).select(*node.columns)
+        return _query_for(node.child, store, bindings).select(*node.columns)
     if isinstance(node, logical.Sample):
-        return _query_for(node.child, store).sample(node.fraction, node.seed)
+        return _query_for(node.child, store, bindings).sample(node.fraction, node.seed)
     if isinstance(node, logical.Join):
-        left = _query_for(node.left, store)
-        right = _query_for(node.right, store)
-        table = left.join(
-            right, node.left_key, node.right_key, result_name=node.result_name
+        left = _query_for(node.left, store, bindings)
+        right = _query_for(node.right, store, bindings)
+        table = materialise_join(
+            left, right, node.left_key, node.right_key,
+            result_name=node.result_name, build=node.build_side, compress=False,
         )
         return ColumnQuery(table)
     raise TypeError(f"cannot execute plan node {type(node).__name__} on the column store")

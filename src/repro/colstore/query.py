@@ -19,9 +19,15 @@ the callable into an opaque-predicate node the optimizer cannot inspect
 (default selectivity, no encoding-specific mapping beyond the distinct-
 value pushdown).  Migrate to expressions — see ``src/repro/plan/README.md``.
 
-Joins produce a new in-memory :class:`ColumnTable` built from gathered
-columns (a materialised join result), since GenBase's join outputs feed
-either a pivot or an aggregate immediately afterwards.
+Joins are lazy too: :meth:`ColumnQuery.join` returns a :class:`JoinedQuery`
+builder whose terminals (``collect`` / ``group_aggregate`` / ``pivot``)
+assemble one whole logical plan — ``Scan → Filter* → Join → Aggregate/
+Pivot`` — and execute it through :func:`repro.colstore.planner.run_plan`,
+so predicates and projections are optimized *across* the join boundary
+(GenBase's join outputs feed a pivot or an aggregate immediately, which is
+exactly the fusion opportunity).  The eager materialised-table join
+survives as :func:`materialise_join`, the primitive the plan executor
+itself uses.
 
 Filters execute *on the compressed form* where the encoding allows it:
 dictionary and RLE columns evaluate predicates on their distinct values
@@ -59,21 +65,28 @@ import numpy as np
 from repro.colstore.compression import predicate_mask
 from repro.colstore.table import ColumnTable
 from repro.plan.expressions import ColumnRef, Expression, InList, Opaque
+from repro.plan.logical import Aggregate, Filter, Join, Pivot, PlanNode, Project, Scan
 from repro.plan.optimizer import ordered_conjuncts
 
 
 def merge_join_positions(
-    left_keys: np.ndarray, right_keys: np.ndarray
+    left_keys: np.ndarray, right_keys: np.ndarray, build: str = "auto"
 ) -> tuple[np.ndarray, np.ndarray]:
     """Vectorised equi-join returning aligned ``(left, right)`` position arrays.
 
-    Groups the smaller (build) side by key — direct addressing over the key
-    range for dense integer keys, ``argsort`` + ``searchsorted`` otherwise —
-    then expands each probe row's hit range with ``repeat`` arithmetic; no
-    Python-level loop over rows.  Output is larger-side-major; within one
-    probe row the matches appear in build-position order.
+    Groups the build side by key — direct addressing over the key range for
+    dense integer keys, ``argsort`` + ``searchsorted`` otherwise — then
+    expands each probe row's hit range with ``repeat`` arithmetic; no
+    Python-level loop over rows.  ``build`` picks the indexed side:
+    ``"auto"`` (the default) builds on the smaller input, ``"left"`` /
+    ``"right"`` honour an optimizer annotation chosen from column
+    statistics (:func:`repro.plan.optimizer.choose_join_build_side`).
+    Output is probe-side-major; within one probe row the matches appear in
+    build-position order.
     """
-    if len(left_keys) <= len(right_keys):
+    if build not in ("auto", "left", "right"):
+        raise ValueError(f"build must be 'auto', 'left' or 'right', not {build!r}")
+    if build == "left" or (build == "auto" and len(left_keys) <= len(right_keys)):
         left_positions, right_positions = _match_positions(left_keys, right_keys)
     else:
         right_positions, left_positions = _match_positions(right_keys, left_keys)
@@ -146,6 +159,54 @@ def _sorted_match_positions(
     low = np.searchsorted(sorted_build, probe_keys, side="left")
     high = np.searchsorted(sorted_build, probe_keys, side="right")
     return _expand_hit_ranges(low, high - low, order)
+
+
+def materialise_join(
+    left: "ColumnQuery",
+    right: "ColumnQuery",
+    left_key: str,
+    right_key: str,
+    columns: Mapping[str, str] | None = None,
+    other_columns: Mapping[str, str] | None = None,
+    result_name: str = "join_result",
+    build: str = "auto",
+    compress: bool = True,
+) -> ColumnTable:
+    """Execute an equi-join eagerly, materialising the output columns.
+
+    This is the execution primitive both join paths share: the lazy
+    :class:`JoinedQuery` terminals reach it through the plan executor
+    (:func:`repro.colstore.planner.run_plan`), which prunes the gathered
+    columns and annotates the build side first; calling it directly
+    reproduces the pre-plan eager join.  ``compress=False`` stores the
+    gathered arrays plain — the right choice for a query intermediate that
+    is consumed once (re-encoding it would cost more than it saves).
+    """
+    if columns is None:
+        columns = {name: name for name in left.output_columns}
+    if other_columns is None:
+        other_columns = {
+            name: name for name in right.output_columns if name != right_key
+        }
+
+    left_keys = left.column(left_key)
+    right_keys = right.column(right_key)
+    left_positions, right_positions = merge_join_positions(
+        left_keys, right_keys, build=build
+    )
+
+    # One gather path for both sides: compose the join positions with the
+    # selection vectors and let the (possibly compressed) column gather —
+    # empty position arrays then yield empty outputs whose dtype matches
+    # the populated case by construction.
+    left_rows = left.selection[left_positions]
+    right_rows = right.selection[right_positions]
+    arrays: dict[str, np.ndarray] = {}
+    for output_name, source in columns.items():
+        arrays[output_name] = left.table.column(source).take(left_rows)
+    for output_name, source in other_columns.items():
+        arrays[output_name] = right.table.column(source).take(right_rows)
+    return ColumnTable.from_arrays(result_name, arrays, compress=compress)
 
 
 def _columnwise(expression: Expression, column: str):
@@ -430,11 +491,21 @@ class ColumnQuery:
         columns: Mapping[str, str] | None = None,
         other_columns: Mapping[str, str] | None = None,
         result_name: str = "join_result",
-    ) -> ColumnTable:
-        """Vectorised equi-join, materialising the requested output columns.
+    ) -> "JoinedQuery":
+        """Equi-join with ``other`` — returns a lazy :class:`JoinedQuery`.
+
+        Nothing executes here: the builder's terminals
+        (:meth:`~JoinedQuery.collect`, :meth:`~JoinedQuery.group_aggregate`,
+        :meth:`~JoinedQuery.pivot`) assemble one logical plan
+        ``Scan → Filter* → Join → [Aggregate | Pivot]`` and run it through
+        :func:`repro.colstore.planner.run_plan`, so the optimizer prunes
+        projections and pushes predicates *across* the join boundary and
+        picks the build side from column statistics.  The pre-plan eager
+        behaviour (a materialised :class:`ColumnTable`) is one ``.collect()``
+        call away.
 
         Args:
-            other: the probe-side query.
+            other: the other input query.
             left_key: join key column in this query's table.
             right_key: join key column in ``other``'s table.
             columns: mapping of output name → this table's column name; the
@@ -443,31 +514,33 @@ class ColumnQuery:
             other_columns: mapping of output name → other table's column
                 name; the default keeps the other query's projected columns
                 except its join key.
-            result_name: name for the materialised result table.
+            result_name: name for the join output (used by ``collect``).
         """
-        if columns is None:
-            columns = {name: name for name in self.output_columns}
-        if other_columns is None:
-            other_columns = {
-                name: name for name in other.output_columns if name != right_key
-            }
+        return JoinedQuery(
+            self, other, left_key, right_key, columns, other_columns, result_name
+        )
 
-        left_keys = self.column(left_key)
-        right_keys = other.column(right_key)
-        left_positions, right_positions = merge_join_positions(left_keys, right_keys)
+    def _plan_fragment(self, scan_name: str) -> tuple["PlanNode", "ColumnQuery"]:
+        """This query as a logical-plan fragment plus its scan binding.
 
-        # One gather path for both sides: compose the join positions with the
-        # selection vectors and let the (possibly compressed) column gather —
-        # empty position arrays then yield empty outputs whose dtype matches
-        # the populated case by construction.
-        left_rows = self.selection[left_positions]
-        right_rows = other.selection[right_positions]
-        arrays: dict[str, np.ndarray] = {}
-        for output_name, source in columns.items():
-            arrays[output_name] = self.table.column(source).take(left_rows)
-        for output_name, source in other_columns.items():
-            arrays[output_name] = other.table.column(source).take(right_rows)
-        return ColumnTable.from_arrays(result_name, arrays)
+        Pending (not yet executed) filters become :class:`Filter` nodes the
+        optimizer can see and move; an already-materialised selection (a
+        ``sample``, an empty ``where_in`` short-circuit, filters forced by
+        an earlier result) cannot be re-expressed declaratively, so it rides
+        along as the *binding* — a base query the executor lowers the
+        :class:`Scan` onto.
+        """
+        plan: PlanNode = Scan(scan_name)
+        if self._cached is not None:
+            # Filters already ran; their result is the binding's base.
+            binding = ColumnQuery(self.table, self._cached)
+        else:
+            binding = ColumnQuery(self.table, self._base)
+            for expression in self._pending:
+                plan = Filter(plan, expression)
+        if self._projection is not None:
+            plan = Project(plan, tuple(self._projection))
+        return plan, binding
 
     # -- aggregation -----------------------------------------------------------------
 
@@ -518,3 +591,270 @@ class ColumnQuery:
         # Labels may alias encoding state (the dictionary itself); the
         # positions stay internal, but the labels leave the query layer.
         return matrix, row_labels.copy(), column_labels.copy()
+
+
+class JoinedQuery:
+    """A lazy equi-join of two :class:`ColumnQuery` inputs.
+
+    Built by :meth:`ColumnQuery.join`; nothing executes until a terminal
+    runs.  Each terminal assembles **one** logical plan — the inputs'
+    pending filters become :class:`~repro.plan.logical.Filter` nodes below a
+    :class:`~repro.plan.logical.Join`, topped by the terminal's
+    :class:`~repro.plan.logical.Aggregate` / :class:`~repro.plan.logical.Pivot`
+    — and hands it to :func:`repro.colstore.planner.run_plan`.  The
+    optimizer therefore sees *across* the join boundary: single-side total
+    predicates written after ``join(...)`` move below it, each side decodes
+    only the join key plus the columns the terminal references, and the
+    build side comes from :class:`~repro.plan.optimizer.ColumnStats`
+    row-count/cardinality estimates.  The join output is materialised
+    *uncompressed* (it is consumed once; re-encoding it is pure overhead) —
+    the measured win over the eager materialise-then-plan path is the
+    ``join_pivot`` op in ``benchmarks/bench_colstore_ops.py``.
+
+    Join output row order is probe-side-major and therefore depends on the
+    chosen build side; aggregate results are row-order independent except
+    for the documented last-ulp caveat on float sums, and pivots resolve
+    duplicate ``(row, column)`` pairs last-write-wins in output order.
+    """
+
+    def __init__(
+        self,
+        left: ColumnQuery,
+        right: ColumnQuery,
+        left_key: str,
+        right_key: str,
+        columns: Mapping[str, str] | None = None,
+        other_columns: Mapping[str, str] | None = None,
+        result_name: str = "join_result",
+        filters: Sequence[Expression] = (),
+    ):
+        left.table.column(left_key)   # raises KeyError naming column and table
+        right.table.column(right_key)
+        if columns is None:
+            columns = {name: name for name in left.output_columns}
+        if other_columns is None:
+            other_columns = {
+                name: name for name in right.output_columns if name != right_key
+            }
+        for source in columns.values():
+            left.table.column(source)
+        for source in other_columns.values():
+            right.table.column(source)
+        self._left = left
+        self._right = right
+        self._left_key = left_key
+        self._right_key = right_key
+        self._columns = dict(columns)
+        self._other_columns = dict(other_columns)
+        self._result_name = result_name
+        self._filters: tuple[Expression, ...] = tuple(filters)
+
+    # -- output schema -----------------------------------------------------------------
+
+    @property
+    def output_columns(self) -> list[str]:
+        """The join's output column names (left side first, then right)."""
+        return list(self._columns) + list(self._other_columns)
+
+    def _source(self, name: str) -> str:
+        """Resolve an output name to its source column (KeyError if unknown)."""
+        if name in self._columns:
+            return self._columns[name]
+        if name in self._other_columns:
+            return self._other_columns[name]
+        raise KeyError(
+            f"no column {name!r} in join result {self._result_name!r}; "
+            f"has {self.output_columns}"
+        )
+
+    # -- composition -------------------------------------------------------------------
+
+    def where(self, expression: Expression) -> "JoinedQuery":
+        """Stack a filter over the join output (lazily).
+
+        The predicate joins the plan *above* the Join node; the optimizer
+        then pushes each total single-side conjunct below the join onto the
+        input it references, exactly as if it had been written on that
+        input.  Partial predicates (division, opaque callables) stay above
+        the join — below it they would run on rows the join eliminates.
+        """
+        if not isinstance(expression, Expression):
+            raise TypeError("JoinedQuery.where takes a declarative expression")
+        for name in sorted(expression.columns_referenced()):
+            if self._source(name) != name:
+                raise ValueError(
+                    f"cannot filter on renamed join output {name!r}; filter the "
+                    "input query before joining instead"
+                )
+        return JoinedQuery(
+            self._left, self._right, self._left_key, self._right_key,
+            self._columns, self._other_columns, self._result_name,
+            self._filters + (expression,),
+        )
+
+    # -- plan assembly -----------------------------------------------------------------
+
+    def _ambiguous_sources(self) -> bool:
+        """True when the shared Join node cannot express this join's output.
+
+        The plan layer identifies columns by *source name*, and the join
+        output convention is "left columns, then right columns minus the
+        right key" — so a source name both sides produce would be gathered
+        once by name, the right side's copy silently winning.  That loses
+        the output → source ownership the ``columns``/``other_columns``
+        mappings express (``{"lx": "x"}`` vs ``{"rx": "x"}``); such joins
+        take the eager output-name-keyed path instead.  The same applies
+        when one output name is mapped on both sides.
+        """
+        right_sources = set(self._right.output_columns) - {self._right_key}
+        return bool(
+            set(self._columns.values()) & right_sources
+            or set(self._other_columns.values()) & set(self._left.output_columns)
+            or set(self._columns) & set(self._other_columns)
+        )
+
+    def _eager_query(self) -> ColumnQuery:
+        """Materialise through the eager primitive (output-name-keyed).
+
+        Fallback for :meth:`_ambiguous_sources` joins: column ownership is
+        resolved by the explicit mappings before any name can collide, at
+        the price of skipping the cross-join optimizer rewrites.  Stacked
+        filters apply on the materialised output, exactly as written.
+        """
+        table = materialise_join(
+            self._left, self._right, self._left_key, self._right_key,
+            self._columns, self._other_columns, self._result_name,
+            compress=False,
+        )
+        query = ColumnQuery(table)
+        for expression in self._filters:
+            query = query.where(expression)
+        return query
+
+    def _assemble(self) -> tuple[PlanNode, dict[str, ColumnQuery]]:
+        """Build the ``Scan → Filter* → Join → Filter*`` plan + scan bindings."""
+        left_name = self._left.table.name
+        right_name = self._right.table.name
+        if right_name == left_name:
+            right_name = f"{right_name}__right"
+        left_plan, left_binding = self._left._plan_fragment(left_name)
+        right_plan, right_binding = self._right._plan_fragment(right_name)
+        plan: PlanNode = Join(
+            left_plan, right_plan, self._left_key, self._right_key, self._result_name
+        )
+        for expression in self._filters:
+            plan = Filter(plan, expression)
+        return plan, {left_name: left_binding, right_name: right_binding}
+
+    def logical_plan(self) -> PlanNode:
+        """The unoptimized relational-algebra plan (for tests and EXPLAIN)."""
+        plan, _bindings = self._assemble()
+        return plan
+
+    def explain(self) -> str:
+        """Render the optimized fused plan (as ``collect`` would run it).
+
+        Shows the join with per-side pushed filters, through-join projection
+        pruning, selectivity annotations and the chosen build side.
+        """
+        from repro.colstore import planner
+
+        if self._ambiguous_sources():
+            lines = [
+                f"EagerJoin {self._left_key} = {self._right_key} "
+                "(source names collide across inputs; output-name-keyed "
+                "materialisation, no cross-join rewrites)"
+            ]
+            lines.extend(f"  Filter {expression!r}" for expression in self._filters)
+            return "\n".join(lines)
+        plan, bindings = self._assemble()
+        sources = tuple(self._source(output) for output in self.output_columns)
+        optimized = planner.optimize_plan(Project(plan, sources), bindings=bindings)
+        return planner.explain_plan(optimized, bindings=bindings)
+
+    # -- terminals ---------------------------------------------------------------------
+
+    def _run(self, plan: PlanNode, bindings: dict[str, ColumnQuery]):
+        from repro.colstore import planner
+
+        return planner.run_plan(plan, bindings=bindings)
+
+    def collect(self, name: str | None = None, compress: bool = False) -> ColumnTable:
+        """Materialise the join output as a :class:`ColumnTable`.
+
+        Gathers only the mapped output columns (the optimizer prunes the
+        rest through the join); pass ``compress=True`` to re-encode the
+        result — worthwhile only when it will be scanned repeatedly.
+        """
+        if self._ambiguous_sources():
+            query = self._eager_query()
+            arrays = {output: query.column(output) for output in self.output_columns}
+            return ColumnTable.from_arrays(
+                name or self._result_name, arrays, compress=compress
+            )
+        plan, bindings = self._assemble()
+        sources = [self._source(output) for output in self.output_columns]
+        query = self._run(Project(plan, tuple(sources)), bindings)
+        if (
+            not compress
+            and query._full_selection
+            and sources == list(self.output_columns)
+            and query.table.column_names == sources
+        ):
+            # The executor already materialised exactly the requested
+            # columns, uncompressed and unfiltered — share its vectors
+            # instead of gathering every column a second time.
+            return ColumnTable(
+                name or self._result_name,
+                [query.table.column(source) for source in sources],
+            )
+        arrays = {
+            output: query.column(self._source(output))
+            for output in self.output_columns
+        }
+        return ColumnTable.from_arrays(
+            name or self._result_name, arrays, compress=compress
+        )
+
+    def group_aggregate(
+        self,
+        group_column: str,
+        value_column: str,
+        function: str = "mean",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused join → GROUP BY returning ``(group_keys, aggregated_values)``.
+
+        One plan ``Join → Aggregate``: each join input decodes only its key
+        plus the group/value columns it contributes, and the grouped
+        reduction runs directly over the gathered arrays — the joined rows
+        are never re-encoded.  Keys match ``np.unique`` of the joined group
+        column exactly; see the class docstring for the float-sum ordering
+        caveat.
+        """
+        if self._ambiguous_sources():
+            return self._eager_query().group_aggregate(
+                group_column, value_column, function
+            )
+        plan, bindings = self._assemble()
+        terminal = Aggregate(
+            plan, self._source(group_column), self._source(value_column), function
+        )
+        return self._run(terminal, bindings)
+
+    def pivot(
+        self, row_key: str, column_key: str, value: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused join → pivot into a dense ``(matrix, row_labels, column_labels)``.
+
+        One plan ``Join → Pivot``: only the two key columns and the value
+        column cross the join.  Labels are the sorted distinct key values of
+        the joined rows; missing cells are 0; duplicate ``(row, column)``
+        pairs resolve last-write-wins in join output order.
+        """
+        if self._ambiguous_sources():
+            return self._eager_query().pivot(row_key, column_key, value)
+        plan, bindings = self._assemble()
+        terminal = Pivot(
+            plan, self._source(row_key), self._source(column_key), self._source(value)
+        )
+        return self._run(terminal, bindings)

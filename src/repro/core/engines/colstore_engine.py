@@ -18,11 +18,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.colstore import ColumnQuery, ColumnStore
+from repro.colstore import ColumnStore
+from repro.colstore.planner import run_plan
 from repro.colstore.udf import UdfHost
 from repro.plan import col
 from repro.core.engines.base import Engine, EngineCapabilities
-from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.queries import (
+    QueryOutput,
+    expression_pivot_plan,
+    gene_expression_plan,
+    patient_expression_plan,
+    sampled_expression_filter_plan,
+    statistics_patient_ids,
+)
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
 from repro.datagen.dataset import GenBaseDataset
@@ -76,24 +84,17 @@ class _ColumnStoreDataManagement(Engine):
 
     # -- reusable vectorised plans --------------------------------------------------------
 
-    def _microarray_for_genes(self, gene_ids: np.ndarray) -> ColumnQuery:
-        """Join a gene-id selection against the microarray (late materialised)."""
-        joined = (
-            self.store.query("microarray").where_in("gene_id", gene_ids)
-        )
-        return joined
+    def _run_pivot_plan(self, child_plan):
+        """Execute one fused ``… → Join → Pivot`` plan on the store.
 
-    def _microarray_for_patients(self, patient_ids: np.ndarray) -> ColumnQuery:
-        """Join a patient-id selection against the microarray."""
-        return self.store.query("microarray").where_in("patient_id", patient_ids)
-
-    def _selected_gene_ids(self, threshold: int) -> np.ndarray:
-        """Q1/Q4 gene filter, expressed on the shared declarative plan API."""
-        return (
-            self.store.query("genes")
-            .where(col("function") < threshold)
-            .column("gene_id")
-        )
+        The whole data-management stage is a single logical plan from
+        :mod:`repro.core.queries`; the optimizer pushes the dimension-side
+        predicate below the join, prunes every column the pivot does not
+        reference, and picks the join build side from the encodings'
+        statistics before :func:`repro.colstore.planner.run_plan` executes
+        it compressed.
+        """
+        return run_plan(expression_pivot_plan(child_plan), self.store)
 
     def _drug_response_for(self, patient_labels: np.ndarray) -> np.ndarray:
         """Align drug responses with ``patient_labels`` via sorted binary search."""
@@ -131,18 +132,13 @@ class _ColumnStoreDataManagement(Engine):
     # -- the common per-query data-management stage ------------------------------------------
 
     def _pivot_regression(self, parameters: QueryParameters):
+        """Q1 data management as one fused plan: genes ⋈ microarray → pivot."""
         threshold = parameters.function_threshold(self.dataset.spec)
-        genes = self._selected_gene_ids(threshold)
-        joined = self._microarray_for_genes(genes)
-        matrix, patient_labels, gene_labels = joined.pivot(
-            "patient_id", "gene_id", "expression_value"
+        matrix, patient_labels, gene_labels = self._run_pivot_plan(
+            gene_expression_plan(threshold)
         )
         response = self._drug_response_for(patient_labels)
         return matrix, patient_labels, gene_labels, response
-
-    def _pivot_patient_filter(self, patient_ids: np.ndarray):
-        joined = self._microarray_for_patients(patient_ids)
-        return joined.pivot("patient_id", "gene_id", "expression_value")
 
 
 class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
@@ -188,12 +184,12 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         diseases = np.asarray(sorted(parameters.covariance_diseases))
         with timer.data_management():
-            patient_ids = (
-                self.store.query("patients")
-                .where(col("disease_id").isin(diseases))
-                .column("patient_id")
+            # One fused plan: patients(disease ∈ …) ⋈ microarray → pivot.
+            # The disease predicate runs below the join on the patients side
+            # and only the join key crosses it (see the Q2 plan snapshot).
+            matrix, _patients, gene_labels = self._run_pivot_plan(
+                patient_expression_plan(col("disease_id").isin(diseases))
             )
-            matrix, _patients, gene_labels = self._pivot_patient_filter(patient_ids)
         cov = self._analytics_covariance(matrix, timer)
         with timer.analytics():
             gene_a, gene_b, values = top_covariant_pairs(
@@ -216,17 +212,15 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
 
     def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         with timer.data_management():
-            # One declarative conjunction: the planner splits it and runs
-            # the more selective half first (see ColumnQuery.explain()).
-            patient_ids = (
-                self.store.query("patients")
-                .where(
+            # One declarative conjunction inside one fused plan: the
+            # optimizer splits it, pushes both halves below the join onto
+            # the patients side and runs the more selective half first.
+            matrix, _patients, _genes = self._run_pivot_plan(
+                patient_expression_plan(
                     (col("gender") == parameters.bicluster_gender)
                     & (col("age") < parameters.bicluster_max_age)
                 )
-                .column("patient_id")
             )
-            matrix, _patients, _genes = self._pivot_patient_filter(patient_ids)
         result = self._analytics_biclustering(matrix, parameters, timer)
         shapes = [bicluster.shape for bicluster in result]
         return QueryOutput(
@@ -242,10 +236,8 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
     def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         threshold = parameters.function_threshold(self.dataset.spec)
         with timer.data_management():
-            genes = self._selected_gene_ids(threshold)
-            joined = self._microarray_for_genes(genes)
-            matrix, _patients, gene_labels = joined.pivot(
-                "patient_id", "gene_id", "expression_value"
+            matrix, _patients, gene_labels = self._run_pivot_plan(
+                gene_expression_plan(threshold)
             )
         k = max(1, min(parameters.svd_k(self.dataset.spec), matrix.shape[1]))
         result = self._analytics_svd(matrix, k, parameters, timer)
@@ -265,12 +257,16 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         sampled = statistics_patient_ids(self.dataset, parameters)
         with timer.data_management():
-            sampled_rows = self._microarray_for_patients(sampled)
-            # The statistics query needs no pivot matrix at all: the per-gene
-            # score (mean expression over the sampled patients) is a
+            # The statistics query needs no pivot matrix at all: the shared
+            # plan selects the sampled patients' rows once (membership
+            # pushdown), then the per-gene score (mean expression) is a
             # compressed group-aggregate whose keys are the sorted distinct
             # gene ids the pivot's column labels used to provide, and the
-            # sampled-patient count is a distinct count on the same rows.
+            # sampled-patient count is a distinct count on the same cached
+            # selection.
+            sampled_rows = run_plan(
+                sampled_expression_filter_plan(sampled), self.store
+            )
             gene_labels, gene_scores = sampled_rows.group_aggregate(
                 "gene_id", "expression_value", "mean"
             )

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster import Cluster, DistributedMatrix, ScaLAPACK
-from repro.core.engines.base import Engine, EngineCapabilities, UnsupportedQueryError
+from repro.core.engines.base import Engine, EngineCapabilities
 from repro.core.queries import QueryOutput, statistics_patient_ids
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer

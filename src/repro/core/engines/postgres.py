@@ -22,13 +22,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engines.base import Engine, EngineCapabilities, UnsupportedQueryError
-from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.queries import (
+    QueryOutput,
+    gene_expression_plan,
+    patient_expression_plan,
+    statistics_patient_ids,
+)
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
 from repro.datagen.dataset import GenBaseDataset
 from repro.linalg.covariance import top_covariant_pairs
 from repro.plan import col, lit
 from repro.relational import ColumnType, Database
+from repro.relational.bridge import run_shared_plan
 from repro.relational.query import QueryResultSet
 from repro.relational.udf import UdfRegistry, default_madlib_registry
 from repro.rlang import stats as r
@@ -70,38 +76,26 @@ class _RowStoreDataManagement(Engine):
         self.n_go_terms = dataset.ontology.n_go_terms
 
     # -- reusable query plans ----------------------------------------------------------
+    #
+    # The data-management stages execute the same shared logical plans the
+    # column store runs (repro.core.queries builders): the shared optimizer
+    # pushes the dimension-side predicate below the join, prunes columns
+    # through it and annotates the build side from table cardinalities, and
+    # repro.relational.bridge lowers the optimized plan onto the Volcano
+    # operators.
 
     def _genes_by_function(self, threshold: int) -> QueryResultSet:
         """SELECT gene_id, patient_id, value FROM genes ⋈ microarray WHERE function < t."""
-        return (
-            self.db.query("genes")
-            .where(col("function") < lit(threshold))
-            .select("gene_id")
-            .join(self.db.query("microarray"), on=("gene_id", "gene_id"))
-            .select("patient_id", "gene_id", "expression_value")
-            .run()
-        )
+        return run_shared_plan(gene_expression_plan(threshold), self.db)
 
     def _patients_by_predicate(self, predicate) -> QueryResultSet:
         """SELECT patient_id, gene_id, value for patients matching a predicate."""
-        return (
-            self.db.query("patients")
-            .where(predicate)
-            .select("patient_id")
-            .join(self.db.query("microarray"), on=("patient_id", "patient_id"))
-            .select("patient_id", "gene_id", "expression_value")
-            .run()
-        )
+        return run_shared_plan(patient_expression_plan(predicate), self.db)
 
     def _patients_by_ids(self, patient_ids: np.ndarray) -> QueryResultSet:
         """SELECT patient_id, gene_id, value for an explicit patient-id list."""
-        return (
-            self.db.query("patients")
-            .where(col("patient_id").isin([int(p) for p in patient_ids]))
-            .select("patient_id")
-            .join(self.db.query("microarray"), on=("patient_id", "patient_id"))
-            .select("patient_id", "gene_id", "expression_value")
-            .run()
+        return self._patients_by_predicate(
+            col("patient_id").isin([int(p) for p in patient_ids])
         )
 
     def _drug_response_for(self, patient_labels: np.ndarray) -> np.ndarray:

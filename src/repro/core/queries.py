@@ -20,6 +20,7 @@ from repro.linalg.covariance import covariance_matrix, top_covariant_pairs
 from repro.linalg.lanczos import lanczos_svd
 from repro.linalg.qr import linear_regression
 from repro.linalg.wilcoxon import enrichment_analysis
+from repro.plan import Aggregate, Expression, Filter, Join, Pivot, PlanNode, Project, Scan, col
 
 
 @dataclass
@@ -71,6 +72,66 @@ def statistics_patient_ids(dataset: GenBaseDataset, parameters: QueryParameters)
     rng = np.random.default_rng(parameters.seed)
     n_keep = max(1, int(round(fraction * dataset.n_patients)))
     return np.sort(rng.choice(dataset.n_patients, size=n_keep, replace=False))
+
+
+# --------------------------------------------------------------------------- #
+# Shared data-management plans (one plan object, every engine)
+# --------------------------------------------------------------------------- #
+#
+# The five queries' data-management stages are whole logical plans built from
+# the shared AST; the column store runs them through
+# ``repro.colstore.planner.run_plan`` (compressed, vectorised) and the row
+# store through ``repro.relational.bridge.run_shared_plan`` (Volcano
+# operators).  Each engine therefore optimizes the *same* Scan → Filter →
+# Join → terminal tree — predicate pushdown, through-join projection pruning
+# and build-side selection all happen at the shared plan layer.
+
+#: The long-format output every GenBase pivot consumes.
+EXPRESSION_TRIPLE = ("patient_id", "gene_id", "expression_value")
+
+
+def gene_expression_plan(threshold: int) -> PlanNode:
+    """Q1/Q4 data management: ``genes(function < t) ⋈ microarray``.
+
+    Projected to the long-format expression triple; top it with
+    :func:`expression_pivot_plan` for the dense matrix.
+    """
+    return Project(
+        Filter(
+            Join(Scan("genes"), Scan("microarray"), "gene_id", "gene_id"),
+            col("function") < threshold,
+        ),
+        EXPRESSION_TRIPLE,
+    )
+
+
+def patient_expression_plan(predicate: Expression) -> PlanNode:
+    """Q2/Q3/Q5 data management: ``patients(predicate) ⋈ microarray``."""
+    return Project(
+        Filter(
+            Join(Scan("patients"), Scan("microarray"), "patient_id", "patient_id"),
+            predicate,
+        ),
+        EXPRESSION_TRIPLE,
+    )
+
+
+def expression_pivot_plan(child: PlanNode) -> Pivot:
+    """Pivot a long-format expression subtree into the dense patient × gene matrix."""
+    return Pivot(child, "patient_id", "gene_id", "expression_value")
+
+
+def sampled_expression_filter_plan(sampled_patient_ids: np.ndarray) -> PlanNode:
+    """Q5 row selection: microarray rows of the sampled patients."""
+    return Filter(Scan("microarray"), col("patient_id").isin(sampled_patient_ids))
+
+
+def sampled_expression_mean_plan(sampled_patient_ids: np.ndarray) -> Aggregate:
+    """Q5 per-gene score: mean expression over the sampled patients' rows."""
+    return Aggregate(
+        sampled_expression_filter_plan(sampled_patient_ids),
+        "gene_id", "expression_value", "mean",
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -9,7 +9,7 @@ spec so the same *selectivities* hold at reproduction scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datagen.sizes import SizeSpec
 

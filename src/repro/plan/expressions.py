@@ -345,6 +345,11 @@ def is_total(expression: Expression) -> bool:
     rows they were not written to see, so the optimizers refuse to move
     them below a join.  Everything else in the AST (comparisons, boolean
     connectives, +/-/*, membership) is a total element-wise operation.
+
+    >>> is_total(col("a") > 1)
+    True
+    >>> is_total(col("a") / col("b") > 1)
+    False
     """
     if isinstance(expression, Opaque):
         return False
@@ -366,6 +371,12 @@ def split_conjuncts(expression: Expression) -> list[Expression]:
 
     ``(a & b) & c`` → ``[a, b, c]``.  Anything that is not a top-level AND
     (disjunctions included) comes back as a single-element list.
+
+    >>> a, b, c = col("a") < 1, col("b") < 2, col("c") < 3
+    >>> split_conjuncts((a & b) & c) == [a, b, c]
+    True
+    >>> len(split_conjuncts(a | b))  # disjunctions stay whole
+    1
     """
     if isinstance(expression, BooleanOp) and expression.conjunction:
         result: list[Expression] = []
@@ -380,12 +391,20 @@ def split_conjuncts(expression: Expression) -> list[Expression]:
 # --------------------------------------------------------------------------- #
 
 def col(name: str) -> ColumnRef:
-    """Reference a column by name."""
+    """Reference a column by name.
+
+    >>> repr(col("age") < 40)
+    "(col('age') < lit(40))"
+    """
     return ColumnRef(name)
 
 
 def lit(value) -> Literal:
-    """Wrap a constant value."""
+    """Wrap a constant value.
+
+    >>> repr(lit(250))
+    'lit(250)'
+    """
     return Literal(value)
 
 

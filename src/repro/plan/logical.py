@@ -78,13 +78,23 @@ class Sample(PlanNode):
 @dataclass(frozen=True)
 class Join(PlanNode):
     """Equi-join; the output keeps the left columns plus the right columns
-    minus the right key (the column store's materialised-join convention)."""
+    minus the right key (the column store's materialised-join convention).
+
+    ``build_side`` records the optimizer's build-side choice
+    (:func:`repro.plan.optimizer.choose_join_build_side`): ``"left"`` or
+    ``"right"`` means "build the hash/lookup structure on that input",
+    ``"auto"`` leaves the decision to the executor, which falls back to
+    whatever it can observe at run time (the column store compares the
+    actual materialised input lengths; the row store compares its own
+    cardinality estimates).
+    """
 
     left: PlanNode
     right: PlanNode
     left_key: str
     right_key: str
     result_name: str = "join_result"
+    build_side: str = "auto"
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.left, self.right)
@@ -137,7 +147,10 @@ def _describe(node: PlanNode) -> str:
     if isinstance(node, Sample):
         return f"Sample fraction={node.fraction} seed={node.seed}"
     if isinstance(node, Join):
-        return f"Join {node.left_key} = {node.right_key}"
+        text = f"Join {node.left_key} = {node.right_key}"
+        if node.build_side != "auto":
+            text += f" build={node.build_side}"
+        return text
     if isinstance(node, Aggregate):
         return f"Aggregate {node.function}({node.value}) by {node.group_by}"
     if isinstance(node, Pivot):

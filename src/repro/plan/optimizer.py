@@ -10,9 +10,12 @@ Rules, applied in a fixed deterministic order by :func:`optimize`:
 3. **filter reordering** — consecutive filters are reordered so the most
    selective (by the estimates below) runs first, shrinking the row set
    the rest of the chain has to touch;
-4. **projection pruning** — every scan is wrapped in a projection of just
-   the columns the plan above it references, so unused columns are never
-   decoded.
+4. **join build-side selection** — each join is annotated with the input
+   the executor should index, chosen from estimated post-filter row counts
+   (:func:`estimate_output_rows`, reading :class:`ColumnStats`);
+5. **projection pruning** — every scan is wrapped in a projection of just
+   the columns the plan above it references — *through* joins too, so each
+   join input decodes only the terminal's columns plus its join key.
 
 Selectivity estimation reads per-column statistics through a
 :class:`PlanCatalog` (the column store derives them from its encodings:
@@ -69,7 +72,7 @@ class ColumnStats:
 class PlanCatalog:
     """What the optimizer may ask an engine about its tables.
 
-    Both hooks may return None ("unknown"); every rule degrades gracefully
+    All hooks may return None ("unknown"); every rule degrades gracefully
     to the statistics-free behaviour.
     """
 
@@ -77,6 +80,15 @@ class PlanCatalog:
         return None
 
     def stats_of(self, table: str, column: str) -> ColumnStats | None:
+        return None
+
+    def row_count_of(self, table: str) -> int | None:
+        """Base-table cardinality; the default derives it from column stats."""
+        names = self.columns_of(table)
+        for name in names or ():
+            stats = self.stats_of(table, name)
+            if stats is not None:
+                return stats.row_count
         return None
 
 
@@ -223,7 +235,14 @@ def ordered_conjuncts(expressions, stats_for):
 # --------------------------------------------------------------------------- #
 
 def split_filter_conjunctions(node: PlanNode) -> PlanNode:
-    """Turn every ``Filter(a & b)`` into stacked single-conjunct filters."""
+    """Turn every ``Filter(a & b)`` into stacked single-conjunct filters.
+
+    AND is commutative and associative over total element-wise predicates,
+    so the stacked form selects exactly the same rows; the split is what
+    lets each conjunct move (pushdown) and be estimated independently.
+    Innermost = first-written, preserving written order until
+    :func:`reorder_filters` decides otherwise.
+    """
     node = _rebuild(node, split_filter_conjunctions)
     if isinstance(node, Filter):
         conjuncts = split_conjuncts(node.predicate)
@@ -310,8 +329,91 @@ def _find_column_stats(node: PlanNode, column: str, catalog: PlanCatalog):
     return None
 
 
+def estimate_output_rows(node: PlanNode, catalog: PlanCatalog) -> float | None:
+    """Estimated row count a subtree produces (None when unknown).
+
+    Scans read base cardinality from the catalog; filters multiply by the
+    estimated selectivity of each conjunct; samples multiply by their
+    fraction; joins use the textbook foreign-key model
+    ``|L| * |R| / max(d(L.key), d(R.key))`` when both key cardinalities are
+    known and fall back to ``max(|L|, |R|)`` otherwise; aggregates and
+    pivots answer with the group key's distinct count.  Purely an estimate
+    — never evaluates any predicate or touches row data.
+    """
+    if isinstance(node, Scan):
+        count = catalog.row_count_of(node.table)
+        return None if count is None else float(count)
+    if isinstance(node, Filter):
+        base = estimate_output_rows(node.child, catalog)
+        if base is None:
+            return None
+        stats_for = _base_stats_for(node.child, catalog)
+        for conjunct in split_conjuncts(node.predicate):
+            predicate = classify(conjunct)
+            stats = stats_for(predicate.column) if predicate.column else None
+            base *= estimate_selectivity(predicate, stats)
+        return base
+    if isinstance(node, Sample):
+        base = estimate_output_rows(node.child, catalog)
+        return None if base is None else base * node.fraction
+    if isinstance(node, Project):
+        return estimate_output_rows(node.child, catalog)
+    if isinstance(node, Join):
+        left = estimate_output_rows(node.left, catalog)
+        right = estimate_output_rows(node.right, catalog)
+        if left is None or right is None:
+            return None
+        left_stats = _find_column_stats(node.left, node.left_key, catalog)
+        right_stats = _find_column_stats(node.right, node.right_key, catalog)
+        domains = [
+            stats.distinct
+            for stats in (left_stats, right_stats)
+            if stats is not None and stats.distinct
+        ]
+        if domains:
+            return left * right / max(domains)
+        return max(left, right)
+    if isinstance(node, (Aggregate, Pivot)):
+        key = node.group_by if isinstance(node, Aggregate) else node.row_key
+        stats = _find_column_stats(node.child, key, catalog)
+        if stats is not None and stats.distinct:
+            return float(stats.distinct)
+        base = estimate_output_rows(node.child, catalog)
+        return None if base is None else max(1.0, base / 10.0)
+    return None
+
+
+def choose_join_build_side(node: PlanNode, catalog: PlanCatalog) -> PlanNode:
+    """Annotate each join with the cheaper build side, from catalog stats.
+
+    The build side is the input the executor indexes (hash table / sorted
+    position array); building on the smaller input is cheaper and — in the
+    column store — keeps the larger input as the sequentially-scanned probe
+    side.  Estimates come from :func:`estimate_output_rows`, so a filter
+    pushed onto one input shrinks that side's estimate before the choice is
+    made.  When either side's cardinality is unknown the annotation stays
+    ``"auto"`` and the executor decides at run time; a side the plan author
+    already forced is left untouched.  The rewrite never changes the join's
+    result set — only which input gets indexed.
+    """
+    node = _rebuild(node, lambda child: choose_join_build_side(child, catalog))
+    if isinstance(node, Join) and node.build_side == "auto":
+        left = estimate_output_rows(node.left, catalog)
+        right = estimate_output_rows(node.right, catalog)
+        if left is not None and right is not None:
+            return replace(node, build_side="left" if left <= right else "right")
+    return node
+
+
 def reorder_filters(node: PlanNode, catalog: PlanCatalog) -> PlanNode:
-    """Sort each consecutive filter chain by estimated selectivity."""
+    """Sort each consecutive filter chain by estimated selectivity.
+
+    Declarative conjuncts commute freely, so reordering never changes the
+    selected row set — but an :class:`~repro.plan.expressions.Opaque`
+    conjunct is an *ordering barrier* (:func:`ordered_conjuncts`): an
+    earlier-written guard may protect the callable's domain, so nothing
+    moves across it and the opaque predicate keeps its written position.
+    """
     if isinstance(node, Filter):
         chain: list[Expression] = []
         base = node
@@ -331,7 +433,15 @@ def reorder_filters(node: PlanNode, catalog: PlanCatalog) -> PlanNode:
 
 def prune_projections(node: PlanNode, catalog: PlanCatalog,
                       required: set[str] | None = None) -> PlanNode:
-    """Wrap each scan in a projection of only the columns the plan reads."""
+    """Wrap each scan in a projection of only the columns the plan reads.
+
+    Pruning also runs *through* joins: each input's requirement is the
+    terminal's requirement restricted to that side plus its join key, and
+    when an input still produces more than that (a pushed-down filter may
+    read columns the join output never needs), a projection is inserted on
+    top of the input so the join gathers only what the terminal references.
+    Projection never changes the row set, so this is always safe.
+    """
     if isinstance(node, Aggregate):
         needed = {node.group_by, node.value}
         return replace(node, child=prune_projections(node.child, catalog, needed))
@@ -356,8 +466,8 @@ def prune_projections(node: PlanNode, catalog: PlanCatalog,
             right_required = (required & set(right_names)) | {node.right_key}
         return replace(
             node,
-            left=prune_projections(node.left, catalog, left_required),
-            right=prune_projections(node.right, catalog, right_required),
+            left=_prune_join_input(node.left, catalog, left_required),
+            right=_prune_join_input(node.right, catalog, right_required),
         )
     if isinstance(node, Scan) and required is not None:
         names = catalog.columns_of(node.table)
@@ -367,8 +477,30 @@ def prune_projections(node: PlanNode, catalog: PlanCatalog,
     return node
 
 
+def _prune_join_input(node: PlanNode, catalog: PlanCatalog,
+                      required: set[str] | None) -> PlanNode:
+    """Prune one join input, capping its output at ``required``.
+
+    A filter pushed below the join may read columns the join output never
+    needs (the Q2 disease predicate reads ``disease_id`` but the pivot only
+    needs ``patient_id``); after the recursive prune, a projection on top
+    of the input drops them so the join never gathers them.
+    """
+    pruned = prune_projections(node, catalog, required)
+    if required is None:
+        return pruned
+    names = output_columns(pruned, catalog)
+    if names is not None and set(names) > required:
+        return Project(pruned, tuple(name for name in names if name in required))
+    return pruned
+
+
 def collapse_projects(node: PlanNode) -> PlanNode:
-    """Merge ``Project(Project(x, inner), outer)`` into one projection."""
+    """Merge ``Project(Project(x, inner), outer)`` into one projection.
+
+    Safe because the outer projection can only reference columns the inner
+    one kept — projecting twice equals projecting once to the outer set.
+    """
     node = _rebuild(node, collapse_projects)
     if isinstance(node, Project) and isinstance(node.child, Project):
         return Project(node.child.child, node.columns)
@@ -376,11 +508,19 @@ def collapse_projects(node: PlanNode) -> PlanNode:
 
 
 def optimize(node: PlanNode, catalog: PlanCatalog | None = None) -> PlanNode:
-    """Apply the rewrite rules in a fixed, deterministic order."""
+    """Apply the rewrite rules in a fixed, deterministic order.
+
+    Splitting must precede pushdown (so each conjunct moves independently),
+    pushdown must precede build-side selection (a pushed filter shrinks one
+    join input's estimate), and pruning runs last over the settled shape.
+    Every rule preserves the plan's result set exactly; only execution
+    order, decoded columns and the join build side change.
+    """
     catalog = catalog or PlanCatalog()
     node = split_filter_conjunctions(node)
     node = push_filters_down(node, catalog)
     node = reorder_filters(node, catalog)
+    node = choose_join_build_side(node, catalog)
     node = prune_projections(node, catalog)
     node = collapse_projects(node)
     return node

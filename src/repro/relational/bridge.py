@@ -1,0 +1,161 @@
+"""Execute shared logical plans (:mod:`repro.plan`) on the row store.
+
+The column store runs shared plans through
+:func:`repro.colstore.planner.run_plan`; this module is the row-store
+counterpart, so one plan object — built once per GenBase query in
+:mod:`repro.core.queries` — drives both architectures.  Lowering maps each
+shared node onto the fluent :class:`~repro.relational.query.Query` builder
+(Scan → ``db.query``, Filter → ``where``, Project → ``select``, Join →
+``join`` + a projection enforcing the shared output convention of "left
+columns, then right columns minus the right key"), and the terminals
+return the same shapes as the column-store executor: ``Aggregate`` →
+``(group_keys, aggregates)`` sorted by key, ``Pivot`` →
+``(matrix, row_labels, column_labels)``.
+
+Before lowering, the *shared* optimizer runs against a
+:class:`RelationalPlanCatalog` (schemas plus row counts — the row store
+keeps no per-column statistics), which pushes single-side total predicates
+below joins, prunes projections through them, and annotates the join build
+side; the annotation is handed to
+:class:`~repro.relational.planner.JoinNode` verbatim, replacing that
+planner's row-count-only heuristic with the shared, selectivity-aware
+estimate.  The row store's own rewrite rules still run at ``to_physical``
+time — they are no-ops on an already-pushed plan.
+
+One deliberate difference from the column store: the relational ``Pivot``
+labels rows/columns in first-seen order (the streaming Volcano convention
+:meth:`~repro.relational.query.QueryResultSet.pivot` has always used),
+not sorted order.  GenBase consumers align through the returned labels, so
+both conventions are equivalent downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.plan import logical
+from repro.plan.optimizer import ColumnStats, PlanCatalog, optimize, output_columns
+from repro.relational.catalog import Database
+from repro.relational.query import Query
+
+#: Shared Aggregate function names → relational HashAggregate names.
+_AGGREGATE_NAMES = {"mean": "avg"}
+
+
+class RelationalPlanCatalog(PlanCatalog):
+    """Expose a row-store :class:`Database`'s schemas to the shared optimizer.
+
+    The row store keeps no per-column statistics, so ``stats_of`` answers
+    with the table's row count only — enough for the join build-side rule
+    to compare post-filter cardinality estimates, while selectivity falls
+    back to the structural (shape-based) defaults.
+    """
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    def columns_of(self, table: str) -> list[str] | None:
+        if table not in self.db:
+            return None
+        return list(self.db.table(table).schema.names)
+
+    def stats_of(self, table: str, column: str) -> ColumnStats | None:
+        if table not in self.db:
+            return None
+        schema = self.db.table(table).schema
+        if not schema.has_column(column):
+            return None
+        return ColumnStats(row_count=self.db.table(table).row_count)
+
+
+def optimize_shared_plan(plan: logical.PlanNode, db: Database) -> logical.PlanNode:
+    """Run the shared optimizer with the database's schemas and row counts."""
+    return optimize(plan, RelationalPlanCatalog(db))
+
+
+def lower_shared_plan(plan: logical.PlanNode, db: Database) -> Query:
+    """Lower a relational-algebra shared plan onto the fluent Query builder.
+
+    Accepts Scan / Filter / Project / Join subtrees (terminals are handled
+    by :func:`run_shared_plan`).  The caller is expected to have optimized
+    the plan already; lowering itself is a pure structural translation.
+    """
+    catalog = RelationalPlanCatalog(db)
+    return _lower(plan, db, catalog)
+
+
+def _lower(node: logical.PlanNode, db: Database, catalog: RelationalPlanCatalog) -> Query:
+    if isinstance(node, logical.Scan):
+        return db.query(node.table)
+    if isinstance(node, logical.Filter):
+        return _lower(node.child, db, catalog).where(node.predicate)
+    if isinstance(node, logical.Project):
+        return _lower(node.child, db, catalog).select(*node.columns)
+    if isinstance(node, logical.Join):
+        left = _lower(node.left, db, catalog)
+        right = _lower(node.right, db, catalog)
+        joined = left.join(right, on=(node.left_key, node.right_key))
+        if node.build_side != "auto":
+            # Propagate the shared optimizer's statistics-informed choice
+            # into the relational JoinNode (Query wraps immutable nodes, so
+            # rebuild the top node with the annotation).
+            joined = Query(replace(joined.logical_plan(), build_side=node.build_side))
+        # The relational join keeps both key columns; project down to the
+        # shared convention (left columns, then right minus the right key).
+        shared_names = output_columns(node, catalog)
+        if shared_names is None:
+            shared_names = [name for name in joined.schema.names
+                            if name != f"{node.right_key}_right"]
+        return joined.select(*shared_names)
+    raise TypeError(
+        f"cannot lower plan node {type(node).__name__} onto the row store"
+    )
+
+
+def run_shared_plan(plan: logical.PlanNode, db: Database, optimized: bool = True):
+    """Execute a shared logical plan against the row store.
+
+    Relational-algebra plans return a materialised
+    :class:`~repro.relational.query.QueryResultSet`;
+    :class:`~repro.plan.logical.Aggregate` returns ``(group_keys,
+    aggregates)`` as numpy arrays sorted by key (the shared contract);
+    :class:`~repro.plan.logical.Pivot` returns ``(matrix, row_labels,
+    column_labels)`` with labels in first-seen row order.
+
+    Args:
+        plan: the shared logical plan tree.
+        db: the row-store database holding the scanned tables.
+        optimized: run the shared optimizer first (pass False to lower the
+            plan exactly as written — the equivalence tests compare both).
+    """
+    if optimized:
+        plan = optimize_shared_plan(plan, db)
+    if isinstance(plan, logical.Aggregate):
+        function = _AGGREGATE_NAMES.get(plan.function, plan.function)
+        value = "*" if plan.function == "count" else plan.value
+        result = (
+            lower_shared_plan(plan.child, db)
+            .group_by([plan.group_by], [(function, value, "agg")])
+            .order_by(plan.group_by)
+            .run()
+        )
+        keys = np.asarray(result.column(plan.group_by))
+        aggregates = np.asarray(result.column("agg"), dtype=np.float64)
+        return keys, aggregates
+    if isinstance(plan, logical.Pivot):
+        result = lower_shared_plan(plan.child, db).run()
+        return result.pivot(plan.row_key, plan.column_key, plan.value)
+    return lower_shared_plan(plan, db).run()
+
+
+def explain_shared_plan(plan: logical.PlanNode, db: Database) -> str:
+    """Render the shared-optimized plan as the row store would execute it."""
+    if isinstance(plan, (logical.Aggregate, logical.Pivot)):
+        terminal = type(plan).__name__
+        optimized = optimize_shared_plan(plan, db)
+        return f"{terminal} terminal over:\n" + lower_shared_plan(
+            optimized.child, db
+        ).explain()
+    return lower_shared_plan(optimize_shared_plan(plan, db), db).explain()

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.plan.expressions import Expression, and_, is_total, split_conjuncts
+from repro.plan.optimizer import classify, estimate_selectivity
 from repro.relational import operators as ops
 from repro.relational.schema import Column, ColumnType, Schema
 from repro.relational.table import HeapTable
@@ -81,8 +82,14 @@ class FilterNode(LogicalNode):
         return ops.Filter(self.child.to_physical(), self.predicate)
 
     def estimated_rows(self) -> int:
-        # Default textbook selectivity of 1/3 for an arbitrary predicate.
-        return max(1, self.child.estimated_rows() // 3)
+        # Structural estimate through the shared classifier: each conjunct
+        # contributes its shape's selectivity (equality 1/10, membership
+        # k/10, range/opaque the textbook 1/3) — the row store keeps no
+        # per-column statistics, but the predicate's *shape* is free.
+        fraction = 1.0
+        for conjunct in split_conjuncts(self.predicate):
+            fraction *= estimate_selectivity(classify(conjunct), None)
+        return max(1, int(self.child.estimated_rows() * fraction))
 
 
 @dataclass(frozen=True)
@@ -107,12 +114,20 @@ class ProjectNode(LogicalNode):
 
 @dataclass(frozen=True)
 class JoinNode(LogicalNode):
-    """Equi-join between two inputs."""
+    """Equi-join between two inputs.
+
+    ``build_side`` mirrors the shared plan layer's annotation
+    (:func:`repro.plan.optimizer.choose_join_build_side`): when a shared
+    optimized plan is lowered onto the row store its statistics-informed
+    choice is honoured directly; ``"auto"`` falls back to this planner's
+    own selectivity-aware cardinality estimates.
+    """
 
     left: LogicalNode
     right: LogicalNode
     left_key: str
     right_key: str
+    build_side: str = "auto"
 
     def output_schema(self) -> Schema:
         return self.left.output_schema().concat(self.right.output_schema())
@@ -124,11 +139,13 @@ class JoinNode(LogicalNode):
         # Build on the smaller side; output column order must stay
         # (left columns, right columns), so when we build on the right we
         # reorder the combined row accordingly via a projection.
-        left_rows = self.left.estimated_rows()
-        right_rows = self.right.estimated_rows()
+        if self.build_side == "auto":
+            build_left = self.left.estimated_rows() <= self.right.estimated_rows()
+        else:
+            build_left = self.build_side == "left"
         left_physical = self.left.to_physical()
         right_physical = self.right.to_physical()
-        if left_rows <= right_rows:
+        if build_left:
             return ops.HashJoin(left_physical, right_physical,
                                 self.left_key, self.right_key)
         joined = ops.HashJoin(right_physical, left_physical,

@@ -392,7 +392,7 @@ class TestColumnQuery:
             "gene_id",
             columns={"gene_id": "gene_id"},
             other_columns={"patient_id": "patient_id", "expression_value": "expression_value"},
-        )
+        ).collect()
         expected_genes = int(np.sum(tiny_dataset.genes.function < threshold))
         assert joined.row_count == expected_genes * tiny_dataset.n_patients
 

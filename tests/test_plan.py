@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -14,6 +16,7 @@ from repro.colstore.planner import (
     optimize_plan,
     run_plan,
 )
+from repro.colstore.query import JoinedQuery, materialise_join
 from repro.plan import (
     Aggregate,
     ColumnStats,
@@ -21,6 +24,8 @@ from repro.plan import (
     Join,
     Opaque,
     Pivot,
+    PlanCatalog,
+    Project,
     Sample,
     Scan,
     and_,
@@ -34,7 +39,9 @@ from repro.plan import (
     ordered_conjuncts,
     split_conjuncts,
 )
+from repro.plan.optimizer import estimate_output_rows
 from repro.relational import ColumnType, Database
+from repro.relational.bridge import RelationalPlanCatalog, run_shared_plan
 
 
 # --------------------------------------------------------------------------- #
@@ -158,7 +165,7 @@ class TestSelectivityEstimates:
 # Optimizer rules on logical plans
 # --------------------------------------------------------------------------- #
 
-class _DictCatalog:
+class _DictCatalog(PlanCatalog):
     def __init__(self, columns, stats=None):
         self._columns = columns
         self._stats = stats or {}
@@ -188,9 +195,10 @@ class TestPlanRules:
         assert text == (
             "Pivot rows=patient_id cols=gene_id value=expression_value\n"
             "  Join gene_id = gene_id\n"
-            "    Filter (col('function') < lit(10))\n"
-            "      Project ['gene_id', 'function']\n"
-            "        Scan genes\n"
+            "    Project ['gene_id']\n"
+            "      Filter (col('function') < lit(10))\n"
+            "        Project ['gene_id', 'function']\n"
+            "          Scan genes\n"
             "    Filter (col('expression_value') > lit(0.5))\n"
             "      Scan microarray"
         )
@@ -309,13 +317,16 @@ class TestGenBasePlans:
     """Snapshot + equivalence tests: the rules fire on all five queries."""
 
     def test_q1_regression_plan_snapshot(self, genbase_store):
+        # Pushdown onto the genes side, projection pruned *through* the
+        # join (only the key crosses), build side chosen from statistics.
         optimized = optimize_plan(_gene_filter_pivot_plan(10), genbase_store)
         assert explain(optimized) == (
             "Pivot rows=patient_id cols=gene_id value=expression_value\n"
-            "  Join gene_id = gene_id\n"
-            "    Filter (col('function') < lit(10))\n"
-            "      Project ['gene_id', 'function']\n"
-            "        Scan genes\n"
+            "  Join gene_id = gene_id build=left\n"
+            "    Project ['gene_id']\n"
+            "      Filter (col('function') < lit(10))\n"
+            "        Project ['gene_id', 'function']\n"
+            "          Scan genes\n"
             "    Scan microarray"
         )
 
@@ -324,10 +335,11 @@ class TestGenBasePlans:
         optimized = optimize_plan(plan, genbase_store)
         assert explain(optimized) == (
             "Pivot rows=patient_id cols=gene_id value=expression_value\n"
-            "  Join patient_id = patient_id\n"
-            "    Filter col('disease_id').isin([1, 3])\n"
-            "      Project ['patient_id', 'disease_id']\n"
-            "        Scan patients\n"
+            "  Join patient_id = patient_id build=left\n"
+            "    Project ['patient_id']\n"
+            "      Filter col('disease_id').isin([1, 3])\n"
+            "        Project ['patient_id', 'disease_id']\n"
+            "          Scan patients\n"
             "    Scan microarray"
         )
 
@@ -357,7 +369,7 @@ class TestGenBasePlans:
         optimized = optimize_plan(_gene_filter_pivot_plan(25), genbase_store)
         text = explain(optimized)
         assert "Project ['gene_id', 'function']" in text
-        assert text.splitlines()[2].strip().startswith("Filter")
+        assert text.splitlines()[3].strip().startswith("Filter")
 
     def test_q5_statistics_plan_snapshot(self, genbase_store):
         sampled = np.array([0, 2, 5], dtype=np.int64)
@@ -402,10 +414,344 @@ class TestGenBasePlans:
         np.testing.assert_array_equal(fast_keys, reference[0])
         np.testing.assert_array_equal(fast_values, reference[1])
 
+    def test_q5_shared_plan_builder_matches_reference(self, genbase_store):
+        # The one-shot Q5 plan from repro.core.queries lowers to exactly the
+        # membership-pushdown + compressed group-aggregate pipeline.
+        from repro.core.queries import sampled_expression_mean_plan
+
+        sampled = np.array([1, 3, 4], dtype=np.int64)
+        keys, means = run_plan(sampled_expression_mean_plan(sampled), genbase_store)
+        reference = (
+            genbase_store.query("microarray")
+            .where_in("patient_id", sampled)
+            .group_aggregate("gene_id", "expression_value", "mean")
+        )
+        np.testing.assert_array_equal(keys, reference[0])
+        np.testing.assert_array_equal(means, reference[1])
+
     def test_explain_plan_annotates_selectivities(self, genbase_store):
         optimized = optimize_plan(_gene_filter_pivot_plan(10), genbase_store)
         text = explain_plan(optimized, genbase_store)
         assert "~sel=" in text and "range" in text
+
+
+# --------------------------------------------------------------------------- #
+# Join build-side selection (rule + estimates)
+# --------------------------------------------------------------------------- #
+
+class TestJoinBuildSideRule:
+    def _catalog(self, left_rows, right_rows):
+        return _DictCatalog(
+            {"l": ["id", "x"], "r": ["id", "y"]},
+            {
+                ("l", "id"): ColumnStats(left_rows),
+                ("l", "x"): ColumnStats(left_rows),
+                ("r", "id"): ColumnStats(right_rows),
+                ("r", "y"): ColumnStats(right_rows),
+            },
+        )
+
+    def test_smaller_side_builds(self):
+        catalog = self._catalog(10_000, 100)
+        assert optimize(Join(Scan("l"), Scan("r"), "id", "id"), catalog).build_side == "right"
+        assert optimize(Join(Scan("r"), Scan("l"), "id", "id"), catalog).build_side == "left"
+
+    def test_pushed_filter_shrinks_the_estimate(self):
+        # Equal base cardinalities; the equality filter (estimated 1/10)
+        # pushed onto the left input makes it the cheaper build side.
+        catalog = self._catalog(1000, 1000)
+        plan = Filter(Join(Scan("l"), Scan("r"), "id", "id"), col("x") == 5)
+        optimized = optimize(plan, catalog)
+        assert isinstance(optimized, Join)  # the filter moved below the join
+        assert optimized.build_side == "left"
+
+    def test_unknown_cardinality_stays_auto(self):
+        catalog = _DictCatalog({"l": ["id"], "r": ["id"]})
+        assert optimize(Join(Scan("l"), Scan("r"), "id", "id"), catalog).build_side == "auto"
+
+    def test_forced_side_is_left_alone(self):
+        catalog = self._catalog(10_000, 100)
+        plan = Join(Scan("l"), Scan("r"), "id", "id", build_side="left")
+        assert optimize(plan, catalog).build_side == "left"
+
+    def test_estimate_output_rows_shapes(self):
+        catalog = _DictCatalog(
+            {"l": ["id"], "r": ["id"]},
+            {
+                ("l", "id"): ColumnStats(100, distinct=100),
+                ("r", "id"): ColumnStats(5000, distinct=100),
+            },
+        )
+        join = Join(Scan("l"), Scan("r"), "id", "id")
+        # Foreign-key model: |L| * |R| / max(d(L.key), d(R.key)).
+        assert estimate_output_rows(join, catalog) == pytest.approx(5000)
+        assert estimate_output_rows(Sample(Scan("r"), 0.1), catalog) == pytest.approx(500)
+        assert estimate_output_rows(Scan("missing"), catalog) is None
+        assert estimate_output_rows(
+            Filter(Scan("l"), col("id") == 3), catalog
+        ) == pytest.approx(100 / 100)
+
+    def test_build_side_overrides_runtime_length_comparison(self):
+        # merge_join_positions honours a forced build side; the match set is
+        # the same either way, only the output (probe-major) order changes.
+        from repro.colstore.query import merge_join_positions
+
+        left = np.array([1, 2, 2, 3], dtype=np.int64)
+        right = np.array([2, 2, 3, 5, 1], dtype=np.int64)
+        for build in ("auto", "left", "right"):
+            left_pos, right_pos = merge_join_positions(left, right, build=build)
+            pairs = sorted(zip(left_pos.tolist(), right_pos.tolist()))
+            assert pairs == [(0, 4), (1, 0), (1, 1), (2, 0), (2, 1), (3, 2)]
+        with pytest.raises(ValueError):
+            merge_join_positions(left, right, build="sideways")
+
+
+# --------------------------------------------------------------------------- #
+# Fused join → aggregate/pivot through the lazy JoinedQuery builder
+# --------------------------------------------------------------------------- #
+
+class TestFusedJoinQueries:
+    def test_join_returns_lazy_builder(self, genbase_store):
+        joined = genbase_store.query("genes").join(
+            genbase_store.query("microarray"), "gene_id", "gene_id"
+        )
+        assert isinstance(joined, JoinedQuery)
+        assert joined.output_columns[0] == "gene_id"
+        assert "expression_value" in joined.output_columns
+
+    def test_fused_pivot_matches_materialise_then_plan(self, genbase_store):
+        genes = genbase_store.query("genes").where(col("function") < 10).select("gene_id")
+        micro = genbase_store.query("microarray")
+        fused = genes.join(micro, "gene_id", "gene_id")
+        matrix, rows, cols = fused.pivot("patient_id", "gene_id", "expression_value")
+        # The PR 1–3 hand-stitched path: materialise the (compressed) join
+        # output, then plan the pivot over the new table.
+        eager_table = materialise_join(
+            genes, micro, "gene_id", "gene_id", compress=True
+        )
+        slow_matrix, slow_rows, slow_cols = ColumnQuery(eager_table).pivot(
+            "patient_id", "gene_id", "expression_value"
+        )
+        np.testing.assert_array_equal(matrix, slow_matrix)
+        np.testing.assert_array_equal(rows, slow_rows)
+        np.testing.assert_array_equal(cols, slow_cols)
+
+    def test_fused_aggregate_matches_materialise_then_plan(self, genbase_store):
+        genes = genbase_store.query("genes").where(col("function") < 10).select("gene_id")
+        micro = genbase_store.query("microarray")
+        fused = genes.join(micro, "gene_id", "gene_id")
+        eager = ColumnQuery(
+            materialise_join(genes, micro, "gene_id", "gene_id", compress=True)
+        )
+        for function in ("count", "min", "max"):
+            fast_keys, fast_values = fused.group_aggregate(
+                "gene_id", "expression_value", function
+            )
+            slow_keys, slow_values = eager.group_aggregate(
+                "gene_id", "expression_value", function
+            )
+            np.testing.assert_array_equal(fast_keys, slow_keys)
+            np.testing.assert_array_equal(fast_values, slow_values)
+        fast_keys, fast_means = fused.group_aggregate("gene_id", "expression_value")
+        slow_keys, slow_means = eager.group_aggregate("gene_id", "expression_value")
+        np.testing.assert_array_equal(fast_keys, slow_keys)
+        # Float means: the eager path's re-encoded group column may fold RLE
+        # runs (documented last-ulp reassociation caveat).
+        np.testing.assert_allclose(fast_means, slow_means, rtol=1e-12)
+
+    def test_joined_where_pushes_below_the_join(self, genbase_store):
+        pre = (
+            genbase_store.query("genes")
+            .where(col("function") < 10)
+            .join(genbase_store.query("microarray"), "gene_id", "gene_id")
+            .collect("pre")
+        )
+        post_query = (
+            genbase_store.query("genes")
+            .join(genbase_store.query("microarray"), "gene_id", "gene_id")
+            .where(col("function") < 10)
+        )
+        text = post_query.explain()
+        lines = text.splitlines()
+        join_depth = next(
+            len(line) - len(line.lstrip()) for line in lines if "Join" in line
+        )
+        filter_line = next(line for line in lines if "Filter" in line)
+        assert "function" in filter_line
+        assert len(filter_line) - len(filter_line.lstrip()) > join_depth
+        post = post_query.collect("post")
+        assert post.column_names == pre.column_names
+        for name in pre.column_names:
+            np.testing.assert_array_equal(pre.values(name), post.values(name))
+
+    def test_fused_join_with_sampled_input_binding(self, genbase_store):
+        # A sampled input has a materialised base selection that cannot be
+        # re-expressed declaratively — it must ride into the plan as a scan
+        # binding, not get silently dropped.
+        sampled = genbase_store.query("patients").sample(0.5, seed=3)
+        micro = genbase_store.query("microarray")
+        fused = sampled.join(micro, "patient_id", "patient_id").collect("s")
+        eager = materialise_join(
+            sampled, micro, "patient_id", "patient_id", compress=False
+        )
+        assert fused.column_names == eager.column_names
+        for name in eager.column_names:
+            np.testing.assert_array_equal(fused.values(name), eager.values(name))
+
+    def test_renamed_outputs_and_errors(self, genbase_store):
+        joined = genbase_store.query("genes").select("gene_id").join(
+            genbase_store.query("microarray"),
+            "gene_id",
+            "gene_id",
+            other_columns={"value": "expression_value"},
+        )
+        table = joined.collect("renamed")
+        assert table.column_names == ["gene_id", "value"]
+        keys, counts = joined.group_aggregate("gene_id", "value", "count")
+        assert len(keys) == len(np.unique(table.values("gene_id")))
+        assert counts.sum() == table.row_count
+        with pytest.raises(ValueError, match="renamed"):
+            joined.where(col("value") < 1)
+        with pytest.raises(KeyError, match=r"missing.*join_result"):
+            joined.pivot("missing", "gene_id", "value")
+
+    def test_shared_source_names_across_sides_keep_output_ownership(self):
+        # Regression: the plan layer gathers join columns by *source* name,
+        # so when both sides produce an "x" the right copy would win.  Such
+        # joins must fall back to the eager output-name-keyed path and keep
+        # each output bound to its own side.
+        left = ColumnQuery(ColumnTable.from_arrays(
+            "l", {"k": np.array([1, 2, 3]), "x": np.array([10, 20, 30])}
+        ))
+        right = ColumnQuery(ColumnTable.from_arrays(
+            "r", {"k": np.array([1, 2, 3]), "x": np.array([100, 200, 300])}
+        ))
+        joined = left.join(
+            right, "k", "k",
+            columns={"k": "k", "lx": "x"},
+            other_columns={"rx": "x"},
+        )
+        table = joined.collect("both_sides")
+        np.testing.assert_array_equal(table.values("lx"), [10, 20, 30])
+        np.testing.assert_array_equal(table.values("rx"), [100, 200, 300])
+        # Terminals resolve through the same fallback.
+        keys, sums = joined.group_aggregate("k", "lx", "sum")
+        np.testing.assert_array_equal(keys, [1, 2, 3])
+        np.testing.assert_array_equal(sums, [10.0, 20.0, 30.0])
+        assert "EagerJoin" in joined.explain()
+        # Mapping only the left's copy must not let the right's leak in.
+        left_only = left.join(
+            right, "k", "k", columns={"k": "k", "lx": "x"}, other_columns={}
+        )
+        np.testing.assert_array_equal(
+            left_only.collect().values("lx"), [10, 20, 30]
+        )
+
+    def test_join_explain_shows_pruning_and_build_side(self, genbase_store):
+        text = (
+            genbase_store.query("genes")
+            .where(col("function") < 10)
+            .select("gene_id")
+            .join(genbase_store.query("microarray"), "gene_id", "gene_id")
+            .explain()
+        )
+        assert "build=left" in text
+        assert "Project ['gene_id']" in text  # only the key crosses the join
+
+
+# --------------------------------------------------------------------------- #
+# Shared plans on the row store (the bridge)
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture()
+def mini_db():
+    db = Database("g")
+    db.create_table(
+        "genes", [("gene_id", ColumnType.INT), ("function", ColumnType.INT)]
+    )
+    db.load_array("genes", np.array([[0, 5], [1, 20], [2, 3], [3, 8]]))
+    db.create_table(
+        "microarray",
+        [("gene_id", ColumnType.INT), ("patient_id", ColumnType.INT),
+         ("expression_value", ColumnType.FLOAT)],
+    )
+    rows = [
+        (g, p, float(10 * g + p))
+        for p in range(3)
+        for g in range(4)
+    ]
+    db.insert("microarray", rows)
+    return db
+
+
+class TestSharedPlansOnRowStore:
+    def _plan(self, threshold=10):
+        return Project(
+            Filter(
+                Join(Scan("genes"), Scan("microarray"), "gene_id", "gene_id"),
+                col("function") < threshold,
+            ),
+            ("patient_id", "gene_id", "expression_value"),
+        )
+
+    def test_lowered_plan_matches_fluent_chain(self, mini_db):
+        shared = run_shared_plan(self._plan(), mini_db)
+        fluent = (
+            mini_db.query("genes")
+            .where(col("function") < lit(10))
+            .select("gene_id")
+            .join(mini_db.query("microarray"), on=("gene_id", "gene_id"))
+            .select("patient_id", "gene_id", "expression_value")
+            .run()
+        )
+        assert list(shared.schema.names) == list(fluent.schema.names)
+        assert shared.rows == fluent.rows
+
+    def test_unoptimized_lowering_matches_optimized(self, mini_db):
+        fast = run_shared_plan(self._plan(), mini_db, optimized=True)
+        slow = run_shared_plan(self._plan(), mini_db, optimized=False)
+        assert sorted(fast.rows) == sorted(slow.rows)
+
+    def test_forced_build_side_preserves_column_order(self, mini_db):
+        base = Join(Scan("genes"), Scan("microarray"), "gene_id", "gene_id")
+        rows_by_side = {}
+        for side in ("left", "right"):
+            plan = Project(
+                Filter(replace(base, build_side=side), col("function") < 10),
+                ("patient_id", "gene_id", "expression_value"),
+            )
+            result = run_shared_plan(plan, mini_db, optimized=False)
+            assert list(result.schema.names) == [
+                "patient_id", "gene_id", "expression_value"
+            ]
+            rows_by_side[side] = sorted(result.rows)
+        assert rows_by_side["left"] == rows_by_side["right"]
+
+    def test_shared_aggregate_matches_column_store(self, mini_db):
+        store = ColumnStore("g")
+        store.create_table(
+            "microarray",
+            {
+                "gene_id": np.array([g for p in range(3) for g in range(4)], dtype=np.int64),
+                "patient_id": np.array([p for p in range(3) for _ in range(4)], dtype=np.int64),
+                "expression_value": np.array(
+                    [float(10 * g + p) for p in range(3) for g in range(4)]
+                ),
+            },
+        )
+        plan = Aggregate(Scan("microarray"), "gene_id", "expression_value", "mean")
+        row_keys, row_values = run_shared_plan(plan, mini_db)
+        col_keys, col_values = run_plan(plan, store)
+        np.testing.assert_array_equal(row_keys, col_keys)
+        np.testing.assert_array_equal(row_values, col_values)
+
+    def test_relational_catalog_exposes_row_counts(self, mini_db):
+        catalog = RelationalPlanCatalog(mini_db)
+        assert catalog.columns_of("genes") == ["gene_id", "function"]
+        assert catalog.columns_of("nope") is None
+        assert catalog.stats_of("genes", "function").row_count == 4
+        assert catalog.stats_of("genes", "nope") is None
+        assert catalog.row_count_of("microarray") == 12
 
 
 # --------------------------------------------------------------------------- #
@@ -723,3 +1069,55 @@ class TestOptimizedExecutionProperties:
             np.testing.assert_array_equal(fast[1], slow[1])
             np.testing.assert_array_equal(fast[0], keys)
             np.testing.assert_array_equal(fast[1], expected)
+
+
+class TestFusedEquivalenceProperties:
+    """Fused join → aggregate/pivot bit-identical to the hand-stitched path.
+
+    Values are exactly-representable floats (integers), so even float sums
+    are order-independent; the pivot's cell value is a pure function of its
+    column key, so duplicate (row, column) pairs always write the same
+    value and last-write-wins order cannot matter.
+    """
+
+    @given(group_arrays, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_fused_terminals_identical_to_eager_across_encodings(self, keys, data):
+        right_keys = data.draw(
+            hnp.arrays(dtype=np.int64, shape=st.integers(0, 100),
+                       elements=st.integers(-50, 50))
+        )
+        for encoding in ENCODINGS:
+            left_column = np.sort(keys) if encoding == "delta" else keys
+            left_table = ColumnTable(
+                "fused_l",
+                [
+                    ColumnVector("k", left_column, encoding=encoding),
+                    ColumnVector("lv", (left_column * 3 % 13).astype(np.float64)),
+                ],
+            )
+            right_table = ColumnTable(
+                "fused_r",
+                [
+                    ColumnVector("k", right_keys),
+                    ColumnVector("rv", np.arange(len(right_keys), dtype=np.float64)),
+                ],
+            )
+            left = ColumnQuery(left_table)
+            right = ColumnQuery(right_table)
+            fused = left.join(right, "k", "k")
+            eager = ColumnQuery(
+                materialise_join(left, right, "k", "k", compress=True)
+            )
+            for function in ("count", "sum", "mean", "min", "max"):
+                fast = fused.group_aggregate("k", "rv", function)
+                slow = eager.group_aggregate("k", "rv", function)
+                np.testing.assert_array_equal(fast[0], slow[0])
+                np.testing.assert_array_equal(
+                    fast[1], slow[1],
+                    err_msg=f"{function} mismatch for {encoding}",
+                )
+            fast_pivot = fused.pivot("k", "rv", "rv")
+            slow_pivot = eager.pivot("k", "rv", "rv")
+            for fast_part, slow_part in zip(fast_pivot, slow_pivot):
+                np.testing.assert_array_equal(fast_part, slow_part)

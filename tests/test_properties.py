@@ -204,7 +204,7 @@ class TestCompressedExecutionProperties:
         def join(compress):
             left = ColumnQuery(ColumnTable.from_arrays("l", left_arrays, compress=compress))
             right = ColumnQuery(ColumnTable.from_arrays("r", right_arrays, compress=compress))
-            return left.join(right, "k", "k")
+            return left.join(right, "k", "k").collect()
 
         compressed, plain = join(True), join(False)
         assert compressed.column_names == plain.column_names
@@ -219,7 +219,7 @@ class TestCompressedExecutionProperties:
         left = ColumnQuery(ColumnTable.from_arrays("l", arrays))
         right_arrays = {"k": np.asarray([2000], dtype=np.int64), "w": np.asarray([1.5])}
         right = ColumnQuery(ColumnTable.from_arrays("r", right_arrays))
-        empty = left.join(right, "k", "k")  # 2000 is outside the key domain
+        empty = left.join(right, "k", "k").collect()  # 2000 is outside the key domain
         assert empty.row_count == 0
         assert empty.values("k").dtype == np.int64
         assert empty.values("v").dtype == np.float64

@@ -1,0 +1,74 @@
+"""Docs gate: every relative markdown link in the repo's docs must resolve.
+
+Scans ``README.md``, everything under ``docs/`` and the in-tree package
+READMEs for inline markdown links ``[text](target)`` and verifies that
+each relative target exists on disk (external ``http(s)``/``mailto``
+links and pure in-page ``#anchors`` are skipped; a ``path#anchor``
+target is checked for the path only).
+
+    python tools/check_docs.py
+
+Exit status 0 when every link resolves, 1 otherwise (one line per broken
+link).  CI runs this in the ``docs`` job next to the doctest pass.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link — the target stops at the first ')' or whitespace,
+#: which is exactly the subset these docs use (no titles, no angle brackets).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The documentation surface the gate covers.
+DOC_GLOBS = (
+    "README.md",
+    "docs/**/*.md",
+    "src/repro/**/README.md",
+)
+
+
+def broken_links(path: Path) -> list[str]:
+    """Return one message per unresolvable relative link in ``path``."""
+    failures = []
+    for match in LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        if not (path.parent / target).resolve().exists():
+            failures.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link -> {match.group(1)}"
+            )
+    return failures
+
+
+def main() -> int:
+    documents = sorted(
+        {doc for pattern in DOC_GLOBS for doc in REPO_ROOT.glob(pattern)}
+    )
+    if not documents:
+        print("no documentation files found — nothing to check", file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    for document in documents:
+        failures.extend(broken_links(document))
+    checked = ", ".join(str(d.relative_to(REPO_ROOT)) for d in documents)
+    print(f"checked {len(documents)} documents: {checked}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} broken link(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("OK: all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
