@@ -13,7 +13,11 @@ chunks or hand off to ScaLAPACK.  This package reproduces that architecture:
   ``aggregate``, ``cross_join``, ``redimension`` and ``regrid``,
 * :mod:`repro.arraydb.linalg` — chunk-wise linear algebra (GEMM, Gram
   matrices, matrix-vector products) used by the native analytics, plus the
-  bridge that hands whole arrays to the ScaLAPACK tier.
+  bridge that hands whole arrays to the ScaLAPACK tier,
+* :mod:`repro.arraydb.bridge` — the shared-plan executor: lowers the
+  engine-agnostic logical plans of :mod:`repro.plan` onto these operators
+  (metadata filters run chunk-wise with min/max chunk skipping; joins
+  against the fact array become dimension subarrays).
 
 Because data is already an array, the GenBase queries need no
 table-to-matrix restructuring here — the property that makes SciDB
@@ -25,6 +29,7 @@ from repro.arraydb.chunk import Chunk
 from repro.arraydb.array import ChunkedArray
 from repro.arraydb import operators
 from repro.arraydb import linalg
+from repro.arraydb import bridge
 
 __all__ = [
     "ArraySchema",
@@ -34,4 +39,5 @@ __all__ = [
     "ChunkedArray",
     "operators",
     "linalg",
+    "bridge",
 ]

@@ -1,0 +1,578 @@
+"""Execute shared logical plans (:mod:`repro.plan`) on the array DBMS.
+
+The column store runs shared plans through
+:func:`repro.colstore.planner.run_plan` and the row store through
+:func:`repro.relational.bridge.run_shared_plan`; this module is the array
+DBMS counterpart, so the *same* plan objects — built once per GenBase
+query in :mod:`repro.core.queries` — drive all three storage
+architectures.
+
+The array data model has no tables, so the executor maps the plan's
+relational vocabulary onto arrays through *frames*:
+
+* an :class:`ArrayFrame` presents a set of 1-D metadata arrays sharing
+  one dimension (``patients``: disease_id / age / gender vectors over
+  ``patient_id``) as a logical table whose key column is the dimension;
+* a :class:`MatrixFrame` presents the 2-D expression array as the long
+  fact table ``(patient_id, gene_id, expression_value)`` — its id
+  columns are the array's dimensions and its value column is the cell
+  attribute.
+
+Lowering then follows the array idiom the paper describes for SciDB: a
+``Filter`` over a metadata frame is a chunk-wise scan of the metadata
+vectors (each classified range/equality/membership conjunct first tests
+the chunk's min/max synopsis and can skip the whole chunk, see
+:func:`repro.arraydb.operators.expression_skips_chunk`); a ``Join``
+against the matrix frame on a dimension is a dimension join —
+:func:`repro.arraydb.operators.subarray_by_index` keeps the selected
+coordinates and compacts the axis; ``Aggregate`` runs chunk-wise along a
+dimension and ``Pivot`` is :meth:`~repro.arraydb.array.ChunkedArray.to_dense`
+(the data is already a matrix — the restructuring every relational
+engine pays for simply does not exist here).
+
+The executor *requires* the optimizer's predicate pushdown: a dimension
+predicate must sit on the dimension table's side of the join before
+lowering (``run_shared_plan`` optimizes by default with
+:data:`ARRAY_CAPABILITIES`, which enables pushdown but disables the
+build-side rule — a dimension join has no build side to choose).
+
+>>> import numpy as np
+>>> from repro.plan import Filter, Join, Pivot, Scan, col
+>>> matrix = np.arange(12.0).reshape(4, 3)
+>>> frames = {
+...     "microarray": matrix_frame("expression", matrix,
+...                                ["patient_id", "gene_id"],
+...                                "expression_value", chunk_sizes=[2, 2]),
+...     "patients": ArrayFrame("patient_id", {
+...         "age": metadata_array("age", np.array([30.0, 50.0, 20.0, 60.0]),
+...                               "patient_id", "age", chunk_size=2)}),
+... }
+>>> plan = Pivot(Join(Filter(Scan("patients"), col("age") < 45),
+...                   Scan("microarray"), "patient_id", "patient_id"),
+...              "patient_id", "gene_id", "expression_value")
+>>> dense, rows, cols = run_shared_plan(plan, frames)
+>>> rows.tolist(), dense.tolist()
+([0, 2], [[0.0, 1.0, 2.0], [6.0, 7.0, 8.0]])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.arraydb.array import ChunkedArray
+from repro.arraydb.operators import (
+    FilterStats,
+    aggregate,
+    expression_skips_chunk,
+    filter_attribute,
+    subarray_by_index,
+)
+from repro.plan import logical
+from repro.plan.expressions import Expression, split_conjuncts
+from repro.plan.optimizer import (
+    ColumnStats,
+    OptimizerCapabilities,
+    PlanCatalog,
+    optimize,
+)
+
+#: The optimizer profile the array executor can honour: pushdown moves the
+#: dimension predicates onto the metadata frames (required by the
+#: lowering), pruning and reordering apply as usual, but a dimension join
+#: broadcasts along coordinates and has no build side to choose.
+ARRAY_CAPABILITIES = OptimizerCapabilities(join_build_side=False)
+
+#: Shared Aggregate function names → array-operator aggregate names.
+_AGGREGATE_NAMES = {"mean": "avg"}
+
+
+@dataclass(frozen=True)
+class ArrayFrame:
+    """A logical dimension table backed by 1-D metadata arrays.
+
+    Attributes:
+        dimension: the shared dimension name — the frame's key column.
+        columns: column name → 1-D :class:`ChunkedArray` over ``dimension``
+            whose single attribute carries the column's values.
+    """
+
+    dimension: str
+    columns: Mapping[str, ChunkedArray]
+
+    def column_names(self) -> list[str]:
+        """The frame's columns: the dimension first, then the metadata."""
+        return [self.dimension, *self.columns]
+
+
+@dataclass(frozen=True)
+class MatrixFrame:
+    """The fact table: an n-D array whose dimensions are the id columns.
+
+    Attributes:
+        array: the chunked data array.
+        value_column: logical column name of the cell attribute (the
+            array's attribute name must match, so shared expressions can
+            reference it).
+    """
+
+    array: ChunkedArray
+    value_column: str
+
+    def column_names(self) -> list[str]:
+        """Dimension (id) columns in schema order, then the value column."""
+        return [*self.array.schema.dimension_names, self.value_column]
+
+
+def metadata_array(name: str, values: np.ndarray, dimension: str,
+                   attribute: str, chunk_size: int = 256) -> ChunkedArray:
+    """Build one 1-D metadata array for an :class:`ArrayFrame` column."""
+    return ChunkedArray.from_dense(
+        name, np.asarray(values), dimension_names=[dimension],
+        attribute_name=attribute, chunk_sizes=[chunk_size],
+    )
+
+
+def matrix_frame(name: str, matrix: np.ndarray, dimension_names: Sequence[str],
+                 value_column: str, chunk_sizes: Sequence[int] | None = None) -> MatrixFrame:
+    """Build a :class:`MatrixFrame` from a dense matrix."""
+    array = ChunkedArray.from_dense(
+        name, np.asarray(matrix), dimension_names=list(dimension_names),
+        attribute_name=value_column, chunk_sizes=chunk_sizes,
+    )
+    return MatrixFrame(array=array, value_column=value_column)
+
+
+@dataclass
+class ArrayQueryResult:
+    """A relational-algebra subtree's result on the array executor.
+
+    ``array`` is the (compacted) chunked subarray; ``labels`` maps each
+    dimension name to the original coordinates its compacted axis
+    positions correspond to — what the pivot's row/column labels would
+    be, and what the adapters report as selection cardinalities.
+    """
+
+    array: ChunkedArray
+    labels: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def label(self, dimension: str) -> np.ndarray:
+        """Original coordinates along one dimension, sorted ascending."""
+        return self.labels[dimension]
+
+
+class ArrayPlanCatalog(PlanCatalog):
+    """Expose the frames' schemas and chunk synopses to the shared optimizer."""
+
+    def __init__(self, frames: Mapping[str, ArrayFrame | MatrixFrame]):
+        self.frames = dict(frames)
+
+    def columns_of(self, table: str) -> list[str] | None:
+        frame = self.frames.get(table)
+        return None if frame is None else frame.column_names()
+
+    def stats_of(self, table: str, column: str) -> ColumnStats | None:
+        frame = self.frames.get(table)
+        if frame is None:
+            return None
+        if isinstance(frame, ArrayFrame):
+            if column == frame.dimension:
+                length = _frame_length(frame)
+                start, end = _frame_bounds(frame)
+                return ColumnStats(row_count=length, distinct=length,
+                                   minimum=float(start), maximum=float(end))
+            array = frame.columns.get(column)
+            if array is None:
+                return None
+            bounds = _array_value_bounds(array)
+            return ColumnStats(
+                row_count=array.schema.dimensions[0].length,
+                minimum=None if bounds is None else bounds[0],
+                maximum=None if bounds is None else bounds[1],
+            )
+        schema = frame.array.schema
+        if column == frame.value_column:
+            return ColumnStats(row_count=frame.array.cell_count)
+        for dimension in schema.dimensions:
+            if dimension.name == column:
+                return ColumnStats(
+                    row_count=frame.array.cell_count,
+                    distinct=dimension.length,
+                    minimum=float(dimension.start),
+                    maximum=float(dimension.end),
+                )
+        return None
+
+    def row_count_of(self, table: str) -> int | None:
+        frame = self.frames.get(table)
+        if frame is None:
+            return None
+        if isinstance(frame, ArrayFrame):
+            return _frame_length(frame)
+        return frame.array.cell_count
+
+
+def _frame_length(frame: ArrayFrame) -> int:
+    first = next(iter(frame.columns.values()))
+    return first.schema.dimensions[0].length
+
+
+def _frame_bounds(frame: ArrayFrame) -> tuple[int, int]:
+    first = next(iter(frame.columns.values()))
+    dimension = first.schema.dimensions[0]
+    return dimension.start, dimension.end
+
+
+def _array_value_bounds(array: ChunkedArray) -> tuple[float, float] | None:
+    """Aggregate the chunks' min/max synopses into array-level bounds."""
+    attribute = array.schema.attribute_names[0]
+    minimum = maximum = None
+    for chunk in array.chunks():
+        bounds = chunk.attribute_range(attribute)
+        if bounds is None:
+            continue
+        minimum = bounds[0] if minimum is None else min(minimum, bounds[0])
+        maximum = bounds[1] if maximum is None else max(maximum, bounds[1])
+    if minimum is None:
+        return None
+    return minimum, maximum
+
+
+# --------------------------------------------------------------------------- #
+# Lowering
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class _MetaSelection:
+    """A metadata-frame subtree: the frame plus its stacked predicates."""
+
+    name: str
+    frame: ArrayFrame
+    predicates: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class _MatrixSelection:
+    """A fact subtree: per-dimension coordinate selections + cell filters."""
+
+    name: str
+    frame: MatrixFrame
+    coordinates: dict[str, np.ndarray | None] = field(default_factory=dict)
+    cell_predicates: list[Expression] = field(default_factory=list)
+
+
+def optimize_shared_plan(plan: logical.PlanNode,
+                         frames: Mapping[str, ArrayFrame | MatrixFrame]) -> logical.PlanNode:
+    """Run the shared optimizer with the frames' schemas and synopses."""
+    return optimize(plan, ArrayPlanCatalog(frames), ARRAY_CAPABILITIES)
+
+
+def run_shared_plan(plan: logical.PlanNode,
+                    frames: Mapping[str, ArrayFrame | MatrixFrame],
+                    optimized: bool = True,
+                    stats: FilterStats | None = None):
+    """Execute a shared logical plan against the array frames.
+
+    Relational-algebra subtrees over the fact array return an
+    :class:`ArrayQueryResult` (the compacted subarray plus its coordinate
+    labels); a metadata-only subtree returns the selected coordinates as
+    a sorted int64 array; :class:`~repro.plan.logical.Aggregate` returns
+    ``(group_keys, aggregates)`` and :class:`~repro.plan.logical.Pivot`
+    returns ``(matrix, row_labels, column_labels)`` — the shared executor
+    contract.
+
+    Args:
+        plan: the shared logical plan tree.
+        frames: scan name → :class:`ArrayFrame` / :class:`MatrixFrame`.
+        optimized: run the shared optimizer first.  The array lowering
+            requires dimension predicates to sit on the dimension-table
+            side of joins, which is exactly what the pushdown rule
+            arranges; pass False only for plans already in that shape.
+        stats: optional :class:`~repro.arraydb.operators.FilterStats`
+            accumulating chunk-skip counters across every filter pass.
+    """
+    if optimized:
+        plan = optimize_shared_plan(plan, frames)
+    if isinstance(plan, logical.Aggregate):
+        selection = _lower(plan.child, frames, stats)
+        if not isinstance(selection, _MatrixSelection):
+            raise TypeError("Aggregate expects a fact-array subtree")
+        result = _materialise(selection, stats)
+        if plan.value != selection.frame.value_column:
+            raise KeyError(f"no value column {plan.value!r} in frame {selection.name!r}")
+        function = _AGGREGATE_NAMES.get(plan.function, plan.function)
+        values = aggregate(result.array, plan.value, function, along=plan.group_by)
+        return result.label(plan.group_by), np.asarray(values, dtype=np.float64)
+    if isinstance(plan, logical.Pivot):
+        selection = _lower(plan.child, frames, stats)
+        if not isinstance(selection, _MatrixSelection):
+            raise TypeError("Pivot expects a fact-array subtree")
+        result = _materialise(selection, stats)
+        dims = list(result.array.schema.dimension_names)
+        if dims == [plan.row_key, plan.column_key]:
+            dense = result.array.to_dense(attribute=plan.value)
+        elif dims == [plan.column_key, plan.row_key]:
+            dense = result.array.to_dense(attribute=plan.value).T
+        else:
+            raise KeyError(
+                f"pivot keys ({plan.row_key!r}, {plan.column_key!r}) do not "
+                f"match array dimensions {dims}"
+            )
+        return dense, result.label(plan.row_key), result.label(plan.column_key)
+    selection = _lower(plan, frames, stats)
+    if isinstance(selection, _MetaSelection):
+        coordinates = _resolve_meta(selection, stats)
+        if coordinates is None:
+            start, end = _frame_bounds(selection.frame)
+            coordinates = np.arange(start, end + 1, dtype=np.int64)
+        return coordinates
+    return _materialise(selection, stats)
+
+
+def _lower(node: logical.PlanNode,
+           frames: Mapping[str, ArrayFrame | MatrixFrame],
+           stats: FilterStats | None = None):
+    """Lower a relational-algebra subtree onto a selection description."""
+    if isinstance(node, logical.Scan):
+        frame = frames.get(node.table)
+        if frame is None:
+            raise KeyError(f"no frame named {node.table!r}; have {sorted(frames)}")
+        if isinstance(frame, ArrayFrame):
+            return _MetaSelection(node.table, frame)
+        return _MatrixSelection(
+            node.table, frame,
+            {name: None for name in frame.array.schema.dimension_names},
+        )
+    if isinstance(node, logical.Project):
+        selection = _lower(node.child, frames, stats)
+        names = (selection.frame.column_names()
+                 if isinstance(selection, (_MetaSelection, _MatrixSelection)) else [])
+        missing = set(node.columns) - set(names)
+        if missing:
+            raise KeyError(
+                f"no column {sorted(missing)[0]!r} in frame {selection.name!r}"
+            )
+        # Projection is structural on arrays: dimensions and the cell
+        # attribute are always present, metadata attributes never survive
+        # a dimension join — nothing to do.
+        return selection
+    if isinstance(node, logical.Filter):
+        selection = _lower(node.child, frames, stats)
+        if isinstance(selection, _MetaSelection):
+            _validate_columns(node.predicate, selection.frame.column_names(),
+                              selection.name)
+            selection.predicates.append(node.predicate)
+            return selection
+        return _filter_matrix(selection, node.predicate)
+    if isinstance(node, logical.Join):
+        left = _lower(node.left, frames, stats)
+        right = _lower(node.right, frames, stats)
+        if isinstance(left, _MetaSelection) and isinstance(right, _MatrixSelection):
+            return _dimension_join(right, left, node.right_key, node.left_key, stats)
+        if isinstance(left, _MatrixSelection) and isinstance(right, _MetaSelection):
+            return _dimension_join(left, right, node.left_key, node.right_key, stats)
+        raise TypeError(
+            "the array executor joins a metadata frame against the fact "
+            "array on a shared dimension; got "
+            f"{type(left).__name__} ⋈ {type(right).__name__}"
+        )
+    raise TypeError(
+        f"cannot execute plan node {type(node).__name__} on the array DBMS"
+    )
+
+
+def _validate_columns(predicate: Expression, names: Sequence[str], frame: str) -> None:
+    missing = predicate.columns_referenced() - set(names)
+    if missing:
+        raise KeyError(f"no column {sorted(missing)[0]!r} in frame {frame!r}")
+
+
+def _filter_matrix(selection: _MatrixSelection, predicate: Expression) -> _MatrixSelection:
+    """Apply a predicate to the fact subtree: dimension or cell filter."""
+    dims = list(selection.frame.array.schema.dimension_names)
+    for conjunct in split_conjuncts(predicate):
+        referenced = conjunct.columns_referenced()
+        if referenced <= {selection.frame.value_column}:
+            selection.cell_predicates.append(conjunct)
+            continue
+        if len(referenced) == 1 and next(iter(referenced)) in dims:
+            dimension = next(iter(referenced))
+            schema_dim = selection.frame.array.schema.dimension(dimension)
+            coords = np.arange(schema_dim.start, schema_dim.end + 1, dtype=np.int64)
+            mask = np.asarray(conjunct.evaluate({dimension: coords}), dtype=bool)
+            selected = coords[mask]
+            current = selection.coordinates[dimension]
+            selection.coordinates[dimension] = (
+                selected if current is None else np.intersect1d(current, selected)
+            )
+            continue
+        raise TypeError(
+            f"predicate {conjunct!r} mixes dimensions and attributes; push "
+            "it onto the metadata frame (run the shared optimizer first)"
+        )
+    return selection
+
+
+def _dimension_join(matrix: _MatrixSelection, meta: _MetaSelection,
+                    matrix_key: str, meta_key: str,
+                    stats: FilterStats | None = None) -> _MatrixSelection:
+    """Join the fact array with a filtered metadata frame on a dimension."""
+    if meta_key != meta.frame.dimension:
+        raise KeyError(
+            f"frame {meta.name!r} joins on its dimension "
+            f"{meta.frame.dimension!r}, not {meta_key!r}"
+        )
+    if matrix_key not in matrix.frame.array.schema.dimension_names:
+        raise KeyError(
+            f"no dimension {matrix_key!r} in array frame {matrix.name!r}"
+        )
+    coordinates = _resolve_meta(meta, stats)
+    if coordinates is not None:
+        current = matrix.coordinates[matrix_key]
+        matrix.coordinates[matrix_key] = (
+            coordinates if current is None else np.intersect1d(current, coordinates)
+        )
+    return matrix
+
+
+def _resolve_meta(selection: _MetaSelection,
+                  stats: FilterStats | None) -> np.ndarray | None:
+    """Evaluate the stacked predicates chunk-wise; None means "all rows".
+
+    Each referenced metadata column is a separate 1-D array; the arrays
+    share the dimension and (in the GenBase loaders) its chunking, so the
+    pass walks the chunk grid once, testing every classified
+    single-column conjunct against that column chunk's min/max synopsis
+    first — a chunk excluded by any conjunct is skipped whole.  The
+    dimension itself is exposed to expressions as a virtual column whose
+    chunk values are the coordinate range (its synopsis is exact, so
+    coordinate membership predicates skip chunks too).
+    """
+    if not selection.predicates:
+        return None
+    conjuncts: list[Expression] = []
+    for predicate in selection.predicates:
+        conjuncts.extend(split_conjuncts(predicate))
+    frame = selection.frame
+    referenced: set[str] = set()
+    for conjunct in conjuncts:
+        referenced |= conjunct.columns_referenced()
+    column_arrays = {name: frame.columns[name]
+                     for name in referenced if name != frame.dimension}
+    if not _aligned_chunking(column_arrays.values()):
+        return _resolve_meta_dense(selection, conjuncts, column_arrays)
+
+    reference = (next(iter(column_arrays.values()))
+                 if column_arrays else None)
+    kept: list[np.ndarray] = []
+    grid = (reference.chunk_grid() if reference is not None
+            else _coordinate_grid(frame))
+    for chunk_coords in grid:
+        chunks = {name: array.chunk_at(chunk_coords)
+                  for name, array in column_arrays.items()}
+        if reference is not None and any(c is None for c in chunks.values()):
+            continue  # an all-empty metadata chunk has no matching rows
+        origin, extent = _chunk_span(frame, reference, chunk_coords, chunks)
+        coords = np.arange(origin, origin + extent, dtype=np.int64)
+        skipped = False
+        for conjunct in conjuncts:
+            names = conjunct.columns_referenced()
+            if len(names) != 1:
+                continue
+            name = next(iter(names))
+            if name == frame.dimension:
+                bounds = (float(coords[0]), float(coords[-1]))
+            else:
+                bounds = chunks[name].attribute_range(name)
+            if bounds is not None and expression_skips_chunk(conjunct, *bounds):
+                skipped = True
+                break
+        if skipped:
+            if stats is not None:
+                stats.chunks_skipped += 1
+            continue
+        if stats is not None:
+            stats.chunks_scanned += 1
+        batch = {frame.dimension: coords}
+        mask = np.ones(len(coords), dtype=bool)
+        for name, chunk in chunks.items():
+            batch[name] = chunk.attribute(name)
+            if chunk.mask is not None:
+                mask &= chunk.mask
+        for conjunct in conjuncts:
+            mask &= np.asarray(conjunct.evaluate(batch), dtype=bool)
+            if not mask.any():
+                break
+        if mask.any():
+            if stats is not None:
+                stats.cells_kept += int(mask.sum())
+            kept.append(coords[mask])
+    if not kept:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(kept)
+
+
+def _aligned_chunking(arrays) -> bool:
+    """True when every 1-D metadata array shares one chunk layout."""
+    layout = None
+    for array in arrays:
+        dimension = array.schema.dimensions[0]
+        key = (dimension.start, dimension.end, dimension.chunk_size)
+        if layout is None:
+            layout = key
+        elif key != layout:
+            return False
+    return True
+
+
+def _coordinate_grid(frame: ArrayFrame):
+    """Chunk grid for a dimension-only predicate (no metadata columns)."""
+    first = next(iter(frame.columns.values()))
+    return first.chunk_grid()
+
+
+def _chunk_span(frame: ArrayFrame, reference: ChunkedArray | None,
+                chunk_coords, chunks) -> tuple[int, int]:
+    """(origin, extent) of one chunk-grid cell along the dimension."""
+    if reference is not None:
+        chunk = next(iter(chunks.values()))
+        return chunk.origin[0], chunk.shape[0]
+    first = next(iter(frame.columns.values()))
+    low, high = first.schema.dimensions[0].chunk_bounds(chunk_coords[0])
+    return low, high - low + 1
+
+
+def _resolve_meta_dense(selection: _MetaSelection, conjuncts: list[Expression],
+                        column_arrays: Mapping[str, ChunkedArray]) -> np.ndarray:
+    """Fallback for mis-aligned chunking: evaluate over dense vectors."""
+    start, end = _frame_bounds(selection.frame)
+    coords = np.arange(start, end + 1, dtype=np.int64)
+    batch = {selection.frame.dimension: coords}
+    for name, array in column_arrays.items():
+        batch[name] = array.to_dense(attribute=name)
+    mask = np.ones(len(coords), dtype=bool)
+    for conjunct in conjuncts:
+        mask &= np.asarray(conjunct.evaluate(batch), dtype=bool)
+    return coords[mask]
+
+
+def _materialise(selection: _MatrixSelection,
+                 stats: FilterStats | None) -> ArrayQueryResult:
+    """Apply the accumulated selections: subarray per dimension + cell filters."""
+    array = selection.frame.array
+    labels: dict[str, np.ndarray] = {}
+    for dimension in selection.frame.array.schema.dimensions:
+        coords = selection.coordinates.get(dimension.name)
+        if coords is None:
+            labels[dimension.name] = np.arange(
+                dimension.start, dimension.end + 1, dtype=np.int64
+            )
+        else:
+            coords = np.unique(np.asarray(coords, dtype=np.int64))
+            labels[dimension.name] = coords
+            array = subarray_by_index(array, dimension.name, coords)
+    for predicate in selection.cell_predicates:
+        array = filter_attribute(array, None, predicate, stats=stats)
+    return ArrayQueryResult(array=array, labels=labels)

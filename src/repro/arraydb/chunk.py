@@ -63,6 +63,30 @@ class Chunk:
                 f"chunk has no attribute {name!r}; has {sorted(self.data)}"
             ) from None
 
+    def attribute_range(self, name: str) -> tuple[float, float] | None:
+        """(min, max) of the attribute over the chunk's non-empty cells.
+
+        This is the chunk's synopsis metadata: the expression-aware
+        :func:`repro.arraydb.operators.filter_attribute` consults it to
+        skip whole chunks that cannot satisfy a range/equality/membership
+        predicate.  Computed on first use and cached on the chunk (the
+        chunk's data is immutable in practice — operators copy-on-write).
+        Returns ``None`` for a chunk with no non-empty cells or a
+        non-numeric attribute.
+        """
+        cache = getattr(self, "_range_cache", None)
+        if cache is None:
+            cache = {}
+            self._range_cache = cache
+        if name not in cache:
+            values = self.attribute(name)
+            selected = values if self.mask is None else values[self.mask]
+            if selected.size == 0 or not np.issubdtype(selected.dtype, np.number):
+                cache[name] = None
+            else:
+                cache[name] = (float(selected.min()), float(selected.max()))
+        return cache[name]
+
     def masked_attribute(self, name: str, fill: float = 0.0) -> np.ndarray:
         """Return the attribute with empty cells replaced by ``fill``."""
         values = self.attribute(name)

@@ -7,7 +7,11 @@ engine pays for in the GenBase queries.
 
 Implemented operators (names follow SciDB's AFL where one exists):
 
-* :func:`filter_attribute` — keep cells satisfying a predicate on an attribute,
+* :func:`filter_attribute` — keep cells satisfying a predicate on the
+  attributes; the predicate is an :class:`~repro.plan.expressions.Expression`
+  from the shared AST (range/equality/membership conjuncts skip whole
+  chunks via the chunks' min/max synopses), or — deprecated — a raw
+  vectorised callable over one attribute,
 * :func:`between` — subarray by dimension coordinate ranges,
 * :func:`subarray_by_index` — keep a given list of coordinates along one
   dimension and compact them (what a dimension-join against a filtered
@@ -19,39 +23,227 @@ Implemented operators (names follow SciDB's AFL where one exists):
 * :func:`cross_join` — join two arrays on a shared dimension,
 * :func:`redimension` — build a 2-D array from coordinate/value cell lists,
 * :func:`regrid` — downsample by an integer factor per dimension.
+
+Shared logical plans (Scan → Filter → Join → Aggregate/Pivot) are lowered
+onto these operators by :mod:`repro.arraydb.bridge`.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.arraydb.array import ChunkedArray
 from repro.arraydb.chunk import Chunk
-from repro.arraydb.schema import ArraySchema, Attribute, Dimension
+from repro.arraydb.schema import Attribute, Dimension
+from repro.plan.expressions import (
+    ColumnRef,
+    Comparison,
+    BooleanOp,
+    Expression,
+    InList,
+    Literal,
+    split_conjuncts,
+)
+
+
+@dataclass
+class FilterStats:
+    """Chunk-level accounting for one expression-driven filter pass.
+
+    ``chunks_skipped`` counts chunks eliminated purely from their min/max
+    synopsis — no cell of those chunks was ever touched.  Callers (tests,
+    EXPLAIN-style diagnostics) pass an instance into
+    :func:`filter_attribute` or the :mod:`repro.arraydb.bridge` executor.
+    """
+
+    chunks_scanned: int = 0
+    chunks_skipped: int = 0
+    cells_kept: int = 0
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _comparison_bound(expression: Comparison) -> tuple[str, float] | None:
+    """Extract ``(symbol, constant)`` from a column-vs-literal comparison."""
+    left, right = expression.left, expression.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        symbol, value = expression.symbol, right.value
+    elif isinstance(left, Literal) and isinstance(right, ColumnRef):
+        symbol, value = _FLIP.get(expression.symbol), left.value
+    else:
+        return None
+    if symbol is None:
+        return None
+    if not isinstance(value, (int, float, np.integer, np.floating, bool, np.bool_)):
+        return None
+    return symbol, float(value)
+
+
+def expression_skips_chunk(expression: Expression, minimum: float, maximum: float) -> bool:
+    """True when no value in ``[minimum, maximum]`` can satisfy the predicate.
+
+    This is the chunk-skip test: the interval is a chunk's min/max synopsis
+    for the one attribute the predicate reads, and a ``True`` answer lets
+    the executor drop the whole chunk without touching its cells.  The test
+    is *exact* about comparison strictness (``<`` vs ``<=``) and answers
+    ``False`` — never skip — for any shape it cannot reason about
+    (arithmetic, opaque callables, negation).
+
+    >>> from repro.plan import col
+    >>> expression_skips_chunk(col("v") < 10, minimum=10.0, maximum=20.0)
+    True
+    >>> expression_skips_chunk(col("v") <= 10, minimum=10.0, maximum=20.0)
+    False
+    >>> expression_skips_chunk(col("v").isin([3, 7]), minimum=8.0, maximum=9.0)
+    True
+    """
+    if isinstance(expression, Comparison) and type(expression) is Comparison:
+        bound = _comparison_bound(expression)
+        if bound is None:
+            return False
+        symbol, constant = bound
+        if symbol == "<":
+            return minimum >= constant
+        if symbol == "<=":
+            return minimum > constant
+        if symbol == ">":
+            return maximum <= constant
+        if symbol == ">=":
+            return maximum < constant
+        if symbol == "=":
+            return constant < minimum or constant > maximum
+        if symbol == "<>":
+            return minimum == maximum == constant
+        return False
+    if isinstance(expression, InList) and isinstance(expression.operand, ColumnRef):
+        try:
+            keys = expression.key_array()
+            if not np.issubdtype(keys.dtype, np.number):
+                return False
+            return not bool(np.any((keys >= minimum) & (keys <= maximum)))
+        except (TypeError, ValueError):
+            return False
+    if isinstance(expression, BooleanOp):
+        if expression.conjunction:
+            return any(expression_skips_chunk(op, minimum, maximum)
+                       for op in expression.operands)
+        return all(expression_skips_chunk(op, minimum, maximum)
+                   for op in expression.operands)
+    return False
+
+
+def _chunk_keep_mask(chunk: Chunk, conjuncts: Sequence[Expression],
+                     batch_columns: Sequence[str]) -> np.ndarray | None:
+    """Evaluate conjuncts over one chunk; None means the chunk is skipped.
+
+    Single-attribute conjuncts are first tested against the chunk's min/max
+    synopsis (:func:`expression_skips_chunk`); any conjunct that excludes
+    the whole chunk short-circuits the evaluation of the rest.
+    """
+    for conjunct in conjuncts:
+        referenced = conjunct.columns_referenced()
+        if len(referenced) == 1:
+            name = next(iter(referenced))
+            if name in chunk.data:
+                bounds = chunk.attribute_range(name)
+                if bounds is not None and expression_skips_chunk(conjunct, *bounds):
+                    return None
+    batch = {name: chunk.attribute(name) for name in batch_columns}
+    keep = chunk.mask.copy() if chunk.mask is not None else None
+    for conjunct in conjuncts:
+        verdict = np.asarray(conjunct.evaluate(batch), dtype=bool)
+        keep = verdict if keep is None else keep & verdict
+        if not keep.any():
+            return keep
+    return keep
 
 
 def filter_attribute(
     array: ChunkedArray,
-    attribute: str,
-    predicate: Callable[[np.ndarray], np.ndarray],
+    attribute: str | None,
+    predicate: Expression | Callable[[np.ndarray], np.ndarray],
     result_name: str | None = None,
+    stats: FilterStats | None = None,
 ) -> ChunkedArray:
-    """Keep only cells whose ``attribute`` satisfies ``predicate``.
+    """Keep only cells whose attributes satisfy ``predicate``.
 
-    The array's shape is unchanged; failing cells become empty (mask=False),
-    exactly like SciDB's ``filter``.
+    The array's shape is unchanged; failing cells become empty
+    (mask=False), exactly like SciDB's ``filter``.
+
+    ``predicate`` is an :class:`~repro.plan.expressions.Expression` over
+    the array's attribute names — the shared AST every engine consumes.
+    It is evaluated chunk-wise, and each conjunct that is a classified
+    range/equality/membership predicate on one attribute is first tested
+    against the chunk's min/max synopsis
+    (:meth:`~repro.arraydb.chunk.Chunk.attribute_range`): a chunk whose
+    value interval cannot intersect the predicate is dropped without
+    touching any cell.  ``stats`` (a :class:`FilterStats`) records how
+    many chunks were skipped vs scanned.
+
+    When predicate is an expression, ``attribute`` is only validated (it
+    may be None); the expression names the attributes it reads.
+
+    A raw vectorised callable over the single named ``attribute`` is still
+    accepted but **deprecated** (it blocks chunk skipping and every
+    optimizer rewrite); it emits a :class:`DeprecationWarning`.
     """
     schema = array.schema.renamed(result_name or f"filter({array.schema.name})")
     result = ChunkedArray(schema)
+    if isinstance(predicate, Expression):
+        names = set(array.schema.attribute_names)
+        referenced = predicate.columns_referenced()
+        missing = referenced - names
+        if missing:
+            raise KeyError(
+                f"expression references {sorted(missing)} but array "
+                f"{array.schema.name!r} has attributes {sorted(names)}"
+            )
+        if attribute is not None and attribute not in names:
+            raise KeyError(f"array {array.schema.name!r} has no attribute {attribute!r}")
+        conjuncts = split_conjuncts(predicate)
+        batch_columns = sorted(referenced)
+        for chunk in array.chunks():
+            keep = _chunk_keep_mask(chunk, conjuncts, batch_columns)
+            if keep is None:
+                if stats is not None:
+                    stats.chunks_skipped += 1
+                continue
+            if stats is not None:
+                stats.chunks_scanned += 1
+            if not keep.any():
+                continue
+            if stats is not None:
+                stats.cells_kept += int(keep.sum())
+            new_chunk = chunk.copy()
+            new_chunk.mask = keep
+            result.put_chunk(new_chunk)
+        return result
+
+    warnings.warn(
+        "filter_attribute(..., predicate=<callable>) is deprecated; pass an "
+        "expression built with repro.plan.col instead (callables block chunk "
+        "skipping and every shared-optimizer rewrite)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if attribute is None:
+        raise TypeError("the deprecated callable form requires an attribute name")
     for chunk in array.chunks():
         values = chunk.attribute(attribute)
         keep = np.asarray(predicate(values), dtype=bool)
         if chunk.mask is not None:
             keep &= chunk.mask
+        if stats is not None:
+            stats.chunks_scanned += 1
         if not keep.any():
             continue
+        if stats is not None:
+            stats.cells_kept += int(keep.sum())
         new_chunk = chunk.copy()
         new_chunk.mask = keep
         result.put_chunk(new_chunk)

@@ -1,12 +1,19 @@
 """The Hadoop configuration (paper configuration 7): Hive + Mahout.
 
-Data management compiles to MapReduce jobs through the Hive layer (so even a
-filter pays a full map/shuffle/reduce round trip) and the analytics run in
-the Mahout layer, whose kernels are MapReduce-structured and never touch a
-tuned linear algebra library.  Biclustering is not available, as in Mahout.
+Data management compiles to MapReduce jobs through the Hive layer and the
+analytics run in the Mahout layer, whose kernels are MapReduce-structured
+and never touch a tuned linear algebra library.  Biclustering is not
+available, as in Mahout.
 
-This is the configuration the paper finds "good at neither data management
-nor analytics"; the same gap appears here for the same structural reasons.
+The data-management stages are the *shared* logical plans of
+:mod:`repro.core.queries`, lowered onto MapReduce jobs by
+:func:`repro.mapreduce.bridge.run_shared_plan`: the declarative filter is
+fused into the map phase of the join job (filter-before-shuffle), so one
+job replaces the legacy select → project → join chain and dropped rows
+never cross the serialisation boundary.  Even so, every surviving byte
+still pays the map/spill/shuffle/reduce round trip — this remains the
+configuration the paper finds "good at neither data management nor
+analytics", for the same structural reasons.
 """
 
 from __future__ import annotations
@@ -16,12 +23,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engines.base import Engine, EngineCapabilities
-from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.queries import (
+    QueryOutput,
+    expression_pivot_plan,
+    gene_expression_plan,
+    patient_expression_plan,
+    statistics_patient_ids,
+)
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
 from repro.datagen.dataset import GenBaseDataset
 from repro.linalg.covariance import top_covariant_pairs
 from repro.mapreduce import HiveSession, HiveTable, Mahout, MapReduceEngine
+from repro.mapreduce.bridge import run_shared_plan
+from repro.plan import col
 
 
 @dataclass
@@ -58,30 +73,26 @@ class HadoopEngine(Engine):
         go = dataset.ontology_relational(include_zeros=False)
         self.ontology = HiveTable.from_array("ontology", ["gene_id", "go_id", "belongs"], go)
         self.n_go_terms = dataset.ontology.n_go_terms
+        #: The logical tables the shared plans scan.
+        self.tables = {
+            "microarray": self.microarray,
+            "genes": self.genes,
+            "patients": self.patients,
+            "ontology": self.ontology,
+        }
 
     # -- shared data-management plans -----------------------------------------------------
 
-    @staticmethod
-    def _pivot(table: HiveTable, row_key: str, column_key: str, value: str):
-        """Driver-side pivot of a (long) Hive result into a dense matrix."""
-        rows = np.asarray(table.column_values(row_key), dtype=np.int64)
-        cols = np.asarray(table.column_values(column_key), dtype=np.int64)
-        values = np.asarray(table.column_values(value), dtype=np.float64)
-        row_labels, row_positions = np.unique(rows, return_inverse=True)
-        column_labels, column_positions = np.unique(cols, return_inverse=True)
-        matrix = np.zeros((len(row_labels), len(column_labels)))
-        matrix[row_positions, column_positions] = values
-        return matrix, row_labels, column_labels
+    def _expression_pivot(self, child_plan):
+        """Run one shared ``… → Join → Pivot`` plan as MapReduce jobs.
 
-    def _join_genes_by_function(self, threshold: int) -> HiveTable:
-        selected = self.hive.select(self.genes, lambda row: row["function"] < threshold)
-        projected = self.hive.project(selected, ["gene_id"])
-        return self.hive.join(projected, self.microarray, "gene_id", "gene_id")
-
-    def _join_patients(self, predicate) -> HiveTable:
-        selected = self.hive.select(self.patients, predicate)
-        projected = self.hive.project(selected, ["patient_id"])
-        return self.hive.join(projected, self.microarray, "patient_id", "patient_id")
+        The optimizer pushes the dimension-side predicate below the join
+        and prunes the columns; the bridge fuses both into the join job's
+        map phase, then pivots the long output driver-side.
+        """
+        return run_shared_plan(
+            expression_pivot_plan(child_plan), self.tables, self.hive
+        )
 
     def _drug_response_for(self, patient_labels: np.ndarray) -> np.ndarray:
         table = self.hive.project(self.patients, ["patient_id", "drug_response"])
@@ -102,9 +113,8 @@ class HadoopEngine(Engine):
     def _run_regression(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         threshold = parameters.function_threshold(self.dataset.spec)
         with timer.data_management():
-            joined = self._join_genes_by_function(threshold)
-            matrix, patient_labels, gene_labels = self._pivot(
-                joined, "patient_id", "gene_id_right", "expression_value"
+            matrix, patient_labels, gene_labels = self._expression_pivot(
+                gene_expression_plan(threshold)
             )
             response = self._drug_response_for(patient_labels)
         with timer.analytics():
@@ -126,11 +136,10 @@ class HadoopEngine(Engine):
     # -- Q2 ------------------------------------------------------------------------------------
 
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        diseases = set(int(d) for d in parameters.covariance_diseases)
+        diseases = [int(d) for d in sorted(parameters.covariance_diseases)]
         with timer.data_management():
-            joined = self._join_patients(lambda row: int(row["disease_id"]) in diseases)
-            matrix, patient_labels, gene_labels = self._pivot(
-                joined, "patient_id_right", "gene_id", "expression_value"
+            matrix, _patients, gene_labels = self._expression_pivot(
+                patient_expression_plan(col("disease_id").isin(diseases))
             )
         with timer.analytics():
             cov = self.mahout.covariance(matrix)
@@ -164,9 +173,8 @@ class HadoopEngine(Engine):
     def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         threshold = parameters.function_threshold(self.dataset.spec)
         with timer.data_management():
-            joined = self._join_genes_by_function(threshold)
-            matrix, _patients, gene_labels = self._pivot(
-                joined, "patient_id", "gene_id_right", "expression_value"
+            matrix, _patients, gene_labels = self._expression_pivot(
+                gene_expression_plan(threshold)
             )
         k = max(1, min(parameters.svd_k(self.dataset.spec), matrix.shape[1]))
         with timer.analytics():
@@ -184,11 +192,10 @@ class HadoopEngine(Engine):
     # -- Q5 ------------------------------------------------------------------------------------
 
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        sampled = set(int(p) for p in statistics_patient_ids(self.dataset, parameters))
+        sampled = [int(p) for p in statistics_patient_ids(self.dataset, parameters)]
         with timer.data_management():
-            joined = self._join_patients(lambda row: int(row["patient_id"]) in sampled)
-            matrix, _patients, gene_labels = self._pivot(
-                joined, "patient_id_right", "gene_id", "expression_value"
+            matrix, _patients, gene_labels = self._expression_pivot(
+                patient_expression_plan(col("patient_id").isin(sampled))
             )
             gene_scores = self._gene_scores(matrix)
             membership = self._membership_matrix(gene_labels)

@@ -36,7 +36,12 @@ import numpy as np
 
 from repro.cluster import Cluster, DistributedMatrix, ScaLAPACK
 from repro.core.engines.base import Engine, EngineCapabilities
-from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.queries import (
+    QueryOutput,
+    gene_expression_plan,
+    patient_expression_plan,
+    statistics_patient_ids,
+)
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
 from repro.datagen.dataset import GenBaseDataset
@@ -44,6 +49,8 @@ from repro.linalg.biclustering import cheng_church
 from repro.linalg.covariance import top_covariant_pairs
 from repro.linalg.wilcoxon import enrichment_analysis
 from repro.mapreduce import HiveSession, HiveTable, Mahout, MapReduceEngine
+from repro.mapreduce.bridge import driver_pivot, run_shared_plan
+from repro.plan import col
 
 
 @dataclass
@@ -411,18 +418,26 @@ class HadoopClusterEngine(_MultiNodeEngine):
     # -- per-node Hive data management ------------------------------------------------------------
 
     def _hive_join_per_node(self, patient_predicate=None, gene_threshold=None) -> list[HiveTable]:
-        """Run the filter + join plan on every node's local Hive session."""
+        """Run the shared filter ⋈ microarray plan on every node's Hive session.
+
+        The same plan builders every single-node engine consumes
+        (:mod:`repro.core.queries`) are lowered per node by the MapReduce
+        bridge; the pushed-down predicate runs in the join job's map phase
+        against that node's partition, and the output is the shared
+        ``(patient_id, gene_id, expression_value)`` triple.
+        """
         def local(node_data, _node: int) -> HiveTable:
             session, micro_table, patients_table = node_data
+            tables = {
+                "microarray": micro_table,
+                "genes": self.genes_table,
+                "patients": patients_table,
+            }
             if gene_threshold is not None:
-                selected = session.select(
-                    self.genes_table, lambda row: row["function"] < gene_threshold
-                )
-                projected = session.project(selected, ["gene_id"])
-                return session.join(projected, micro_table, "gene_id", "gene_id")
-            selected = session.select(patients_table, patient_predicate)
-            projected = session.project(selected, ["patient_id"])
-            return session.join(projected, micro_table, "patient_id", "patient_id")
+                plan = gene_expression_plan(gene_threshold)
+            else:
+                plan = patient_expression_plan(patient_predicate)
+            return run_shared_plan(plan, tables, session)
 
         result = self.cluster.map_partitions(self.node_hive, local)
         return list(result.outputs)
@@ -440,16 +455,8 @@ class HadoopClusterEngine(_MultiNodeEngine):
         all_rows = [row for rows in outputs for row in rows]
         if not all_rows:
             return np.empty((0, 0)), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        columns = tables[0].columns
-        table = HiveTable("gathered", columns, all_rows)
-        rows = np.asarray(table.column_values(row_key), dtype=np.int64)
-        cols = np.asarray(table.column_values(column_key), dtype=np.int64)
-        values = np.asarray(table.column_values("expression_value"), dtype=np.float64)
-        row_labels, row_positions = np.unique(rows, return_inverse=True)
-        column_labels, column_positions = np.unique(cols, return_inverse=True)
-        matrix = np.zeros((len(row_labels), len(column_labels)))
-        matrix[row_positions, column_positions] = values
-        return matrix, row_labels, column_labels
+        table = HiveTable("gathered", tables[0].columns, all_rows)
+        return driver_pivot(table, row_key, column_key, "expression_value")
 
     # -- queries --------------------------------------------------------------------------------------
 
@@ -460,7 +467,7 @@ class HadoopClusterEngine(_MultiNodeEngine):
             lambda: self._hive_join_per_node(gene_threshold=threshold),
         )
         matrix, patient_labels, gene_labels = self._gather_joined(
-            tables, timer, "patient_id", "gene_id_right"
+            tables, timer, "patient_id", "gene_id"
         )
         response_lookup = {
             int(pid): float(dr)
@@ -484,15 +491,15 @@ class HadoopClusterEngine(_MultiNodeEngine):
         )
 
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        diseases = set(int(d) for d in parameters.covariance_diseases)
+        diseases = [int(d) for d in sorted(parameters.covariance_diseases)]
         tables = self._timed_cluster_phase(
             timer.add_data_management,
             lambda: self._hive_join_per_node(
-                patient_predicate=lambda row: int(row["disease_id"]) in diseases
+                patient_predicate=col("disease_id").isin(diseases)
             ),
         )
         matrix, _patients, _genes = self._gather_joined(
-            tables, timer, "patient_id_right", "gene_id"
+            tables, timer, "patient_id", "gene_id"
         )
         with timer.analytics():
             cov = self.mahout.covariance(matrix)
@@ -516,7 +523,7 @@ class HadoopClusterEngine(_MultiNodeEngine):
             lambda: self._hive_join_per_node(gene_threshold=threshold),
         )
         matrix, _patients, gene_labels = self._gather_joined(
-            tables, timer, "patient_id", "gene_id_right"
+            tables, timer, "patient_id", "gene_id"
         )
         k = max(1, min(parameters.svd_k(self.dataset.spec), matrix.shape[1])) if matrix.size else 1
         with timer.analytics():
@@ -532,15 +539,15 @@ class HadoopClusterEngine(_MultiNodeEngine):
         )
 
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        sampled = set(int(p) for p in statistics_patient_ids(self.dataset, parameters))
+        sampled = [int(p) for p in statistics_patient_ids(self.dataset, parameters)]
         tables = self._timed_cluster_phase(
             timer.add_data_management,
             lambda: self._hive_join_per_node(
-                patient_predicate=lambda row: int(row["patient_id"]) in sampled
+                patient_predicate=col("patient_id").isin(sampled)
             ),
         )
         matrix, _patients, gene_labels = self._gather_joined(
-            tables, timer, "patient_id_right", "gene_id"
+            tables, timer, "patient_id", "gene_id"
         )
         with timer.data_management():
             gene_scores = self._gene_scores(matrix) if matrix.size else np.zeros(0)

@@ -30,14 +30,21 @@ from repro.accelerator import Coprocessor, OffloadRuntime
 from repro.accelerator.offload import DEFAULT_OFFLOAD_FRACTIONS
 from repro.core.engines.multinode import SciDBClusterEngine
 from repro.core.engines.scidb import SciDBEngine
-from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.queries import (
+    QueryOutput,
+    gene_expression_plan,
+    patient_expression_plan,
+    sampled_expression_mean_plan,
+    statistics_patient_ids,
+)
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
-from repro.arraydb import linalg as array_linalg, operators as ops
+from repro.arraydb import linalg as array_linalg
 from repro.linalg.biclustering import cheng_church
 from repro.linalg.covariance import covariance_matrix, top_covariant_pairs
 from repro.linalg.lanczos import lanczos_svd
 from repro.linalg.wilcoxon import enrichment_analysis
+from repro.plan import col
 
 
 @dataclass
@@ -61,11 +68,11 @@ class SciDBPhiEngine(SciDBEngine):
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         diseases = np.asarray(sorted(parameters.covariance_diseases), dtype=np.float64)
         with timer.data_management():
-            patients = self._selected_coordinates(
-                self.patient_disease, "disease_id", lambda v: np.isin(v, diseases)
+            result = self._run_expression_plan(
+                patient_expression_plan(col("disease_id").isin(diseases))
             )
-            sub = self._subarray_for_patients(patients)
-            dense = array_linalg.to_scalapack(sub)
+            patients = result.label("patient_id")
+            dense = array_linalg.to_scalapack(result.array)
         offloaded = self.runtime.run("covariance", covariance_matrix, dense)
         timer.add_analytics(offloaded.device_total_seconds)
         cov = offloaded.value
@@ -86,15 +93,14 @@ class SciDBPhiEngine(SciDBEngine):
 
     def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         with timer.data_management():
-            male = self._selected_coordinates(
-                self.patient_gender, "gender", lambda v: v == parameters.bicluster_gender
+            result = self._run_expression_plan(
+                patient_expression_plan(
+                    (col("gender") == parameters.bicluster_gender)
+                    & (col("age") < parameters.bicluster_max_age)
+                )
             )
-            young = self._selected_coordinates(
-                self.patient_age, "age", lambda v: v < parameters.bicluster_max_age
-            )
-            patients = np.intersect1d(male, young)
-            sub = self._subarray_for_patients(patients)
-            dense = array_linalg.to_scalapack(sub)
+            patients = result.label("patient_id")
+            dense = array_linalg.to_scalapack(result.array)
         offloaded = self.runtime.run(
             "biclustering", cheng_church, dense,
             n_biclusters=parameters.n_biclusters, seed=parameters.seed,
@@ -117,11 +123,9 @@ class SciDBPhiEngine(SciDBEngine):
     def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         threshold = parameters.function_threshold(self.dataset.spec)
         with timer.data_management():
-            genes = self._selected_coordinates(
-                self.gene_function, "function", lambda v: v < threshold
-            )
-            sub = self._subarray_for_genes(genes)
-            dense = array_linalg.to_scalapack(sub)
+            result = self._run_expression_plan(gene_expression_plan(threshold))
+            genes = result.label("gene_id")
+            dense = array_linalg.to_scalapack(result.array)
         k = max(1, min(parameters.svd_k(self.dataset.spec), len(genes))) if len(genes) else 1
         offloaded = self.runtime.run("svd", lanczos_svd, dense, k=k, seed=parameters.seed)
         timer.add_analytics(offloaded.device_total_seconds)
@@ -141,8 +145,10 @@ class SciDBPhiEngine(SciDBEngine):
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         sampled = statistics_patient_ids(self.dataset, parameters)
         with timer.data_management():
-            sub = self._subarray_for_patients(sampled)
-            gene_scores = np.nan_to_num(ops.aggregate(sub, "value", "avg", along="gene_id"))
+            _gene_labels, scores = self._run_expression_plan(
+                sampled_expression_mean_plan(sampled)
+            )
+            gene_scores = np.nan_to_num(scores)
             membership = self.go_membership.to_dense()
         offloaded = self.runtime.run(
             "statistics", enrichment_analysis, gene_scores, membership,

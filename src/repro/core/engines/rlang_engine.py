@@ -8,6 +8,14 @@ The configuration's two structural weaknesses are reproduced:
 * the cell limit / memory ceiling of the environment (``max_cells``) makes
   large datasets fail to pivot, and
 * there is no parallelism of any kind.
+
+The data-management stages are the *shared* logical plans of
+:mod:`repro.core.queries`, lowered onto the R verbs by
+:func:`repro.rlang.bridge.run_shared_plan`: filters evaluate the shared
+expression AST vectorised over the data-frame columns (one numpy mask per
+conjunct — the idiomatic R ``subset``), the join is ``merge``, and the
+pivot is the limit-checked ``pivot_matrix`` reshape, so the memory
+ceiling bites exactly where it always did.
 """
 
 from __future__ import annotations
@@ -17,11 +25,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engines.base import Engine, EngineCapabilities
-from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.queries import (
+    QueryOutput,
+    expression_pivot_plan,
+    gene_expression_plan,
+    patient_expression_plan,
+    statistics_patient_ids,
+)
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
 from repro.datagen.dataset import GenBaseDataset
 from repro.linalg.covariance import top_covariant_pairs
+from repro.plan import col
+from repro.rlang.bridge import run_shared_plan
 from repro.rlang.dataframe import DataFrame, REnvironment
 from repro.rlang import stats as r
 
@@ -80,30 +96,32 @@ class VanillaREngine(Engine):
             environment=self.environment,
         )
         self.n_go_terms = dataset.ontology.n_go_terms
+        #: The logical tables the shared plans scan.
+        self.frames = {
+            "microarray": self.micro_df,
+            "genes": self.genes_df,
+            "patients": self.patients_df,
+        }
 
-    # -- shared data-management steps ------------------------------------------------
+    # -- shared data-management plans ------------------------------------------------
 
-    def _pivot_for_patients(self, patient_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Join a patient-id selection with the microarray and pivot to a matrix."""
-        selection = DataFrame({"patient_id": np.asarray(patient_ids, dtype=np.int64)},
-                              environment=self.environment)
-        joined = selection.merge(self.micro_df, by="patient_id")
-        return joined.pivot_matrix("patient_id", "gene_id", "expression_value")
+    def _expression_pivot(self, child_plan):
+        """Run one shared ``… → Join → Pivot`` plan on the R frames.
 
-    def _pivot_for_genes(self, gene_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Join a gene-id selection with the microarray and pivot to a matrix."""
-        selection = DataFrame({"gene_id": np.asarray(gene_ids, dtype=np.int64)},
-                              environment=self.environment)
-        joined = selection.merge(self.micro_df, by="gene_id")
-        return joined.pivot_matrix("patient_id", "gene_id", "expression_value")
+        The optimizer pushes the predicate below the merge (subset before
+        merge) and prunes the joined columns; every intermediate frame and
+        the pivot allocation are checked against the environment limits.
+        """
+        return run_shared_plan(expression_pivot_plan(child_plan), self.frames)
 
     # -- Q1 -----------------------------------------------------------------------------
 
     def _run_regression(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         threshold = parameters.function_threshold(self.dataset.spec)
         with timer.data_management():
-            selected = self.genes_df.subset(lambda f: f["function"] < threshold)
-            matrix, patient_labels, gene_labels = self._pivot_for_genes(selected["gene_id"])
+            matrix, patient_labels, gene_labels = self._expression_pivot(
+                gene_expression_plan(threshold)
+            )
             response = self.patients_df["drug_response"][patient_labels.astype(np.int64)]
         with timer.analytics():
             fit = r.lm(matrix, response)
@@ -122,8 +140,9 @@ class VanillaREngine(Engine):
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         diseases = np.asarray(sorted(parameters.covariance_diseases))
         with timer.data_management():
-            selected = self.patients_df.subset(lambda f: np.isin(f["disease_id"], diseases))
-            matrix, patient_labels, gene_labels = self._pivot_for_patients(selected["patient_id"])
+            matrix, patient_labels, gene_labels = self._expression_pivot(
+                patient_expression_plan(col("disease_id").isin(diseases))
+            )
         with timer.analytics():
             cov = r.cov(matrix)
             gene_a, gene_b, values = top_covariant_pairs(
@@ -152,11 +171,12 @@ class VanillaREngine(Engine):
 
     def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         with timer.data_management():
-            selected = self.patients_df.subset(
-                lambda f: (f["gender"] == parameters.bicluster_gender)
-                & (f["age"] < parameters.bicluster_max_age)
+            matrix, patient_labels, _gene_labels = self._expression_pivot(
+                patient_expression_plan(
+                    (col("gender") == parameters.bicluster_gender)
+                    & (col("age") < parameters.bicluster_max_age)
+                )
             )
-            matrix, patient_labels, _gene_labels = self._pivot_for_patients(selected["patient_id"])
         with timer.analytics():
             result = r.biclust(matrix, n_biclusters=parameters.n_biclusters, seed=parameters.seed)
         shapes = [bicluster.shape for bicluster in result]
@@ -175,8 +195,9 @@ class VanillaREngine(Engine):
     def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         threshold = parameters.function_threshold(self.dataset.spec)
         with timer.data_management():
-            selected = self.genes_df.subset(lambda f: f["function"] < threshold)
-            matrix, _patient_labels, gene_labels = self._pivot_for_genes(selected["gene_id"])
+            matrix, _patient_labels, gene_labels = self._expression_pivot(
+                gene_expression_plan(threshold)
+            )
         k = min(parameters.svd_k(self.dataset.spec), matrix.shape[1]) if matrix.shape[1] else 1
         with timer.analytics():
             result = r.svd(matrix, k=max(1, k), seed=parameters.seed)
@@ -195,7 +216,9 @@ class VanillaREngine(Engine):
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         sampled = statistics_patient_ids(self.dataset, parameters)
         with timer.data_management():
-            matrix, _patients, gene_labels = self._pivot_for_patients(sampled)
+            matrix, _patients, gene_labels = self._expression_pivot(
+                patient_expression_plan(col("patient_id").isin(sampled))
+            )
             gene_scores = self._gene_scores(matrix)
             # Join the scored genes with the GO table and build the per-term
             # membership matrix (the "separate the genes based on whether

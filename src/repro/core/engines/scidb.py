@@ -6,6 +6,17 @@ plus ``subarray`` extraction, and the analytics run either natively over the
 chunks (covariance, Lanczos SVD, Wilcoxon) or via the explicit chunked→dense
 conversion to the "ScaLAPACK" tier (regression, biclustering) — the two
 paths Section 6.2 of the paper discusses.
+
+Data management executes the *shared* logical plans of
+:mod:`repro.core.queries` — the same ``Scan → Filter → Join →
+Aggregate/Pivot`` trees the column store, row store, MapReduce and R
+engines run — through the array executor
+:func:`repro.arraydb.bridge.run_shared_plan`.  Filters are shared-AST
+expressions evaluated chunk-wise over the metadata arrays; classified
+range/equality/membership conjuncts consult each chunk's min/max synopsis
+and skip whole chunks (``self.filter_stats`` accumulates the skip
+counters), and the join against the expression array is a dimension
+subarray.
 """
 
 from __future__ import annotations
@@ -14,9 +25,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.arraydb import ChunkedArray, linalg as array_linalg, operators as ops
+from repro.arraydb import ChunkedArray, linalg as array_linalg
+from repro.arraydb.bridge import ArrayFrame, MatrixFrame, run_shared_plan
+from repro.arraydb.operators import FilterStats
 from repro.core.engines.base import Engine, EngineCapabilities
-from repro.core.queries import QueryOutput, statistics_patient_ids
+from repro.core.queries import (
+    QueryOutput,
+    gene_expression_plan,
+    patient_expression_plan,
+    sampled_expression_mean_plan,
+    statistics_patient_ids,
+)
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
 from repro.datagen.dataset import GenBaseDataset
@@ -24,6 +43,7 @@ from repro.linalg.biclustering import cheng_church
 from repro.linalg.covariance import top_covariant_pairs
 from repro.linalg.qr import linear_regression
 from repro.linalg.wilcoxon import enrichment_analysis
+from repro.plan import col
 
 
 @dataclass
@@ -40,7 +60,7 @@ class SciDBEngine(Engine):
             "expression",
             dataset.expression_matrix,
             dimension_names=["patient_id", "gene_id"],
-            attribute_name="value",
+            attribute_name="expression_value",
             chunk_sizes=[chunk, chunk],
         )
         self.gene_function = ChunkedArray.from_dense(
@@ -86,36 +106,46 @@ class SciDBEngine(Engine):
             chunk_sizes=[chunk, chunk],
         )
         self.gene_functions_dense = dataset.genes.function
+        #: The logical tables the shared plans scan, mapped onto the arrays.
+        self.frames = {
+            "microarray": MatrixFrame(self.expression, "expression_value"),
+            "genes": ArrayFrame("gene_id", {"function": self.gene_function}),
+            "patients": ArrayFrame(
+                "patient_id",
+                {
+                    "disease_id": self.patient_disease,
+                    "age": self.patient_age,
+                    "gender": self.patient_gender,
+                    "drug_response": self.drug_response,
+                },
+            ),
+        }
+        #: Cumulative chunk-skip accounting across every shared-plan filter.
+        self.filter_stats = FilterStats()
 
-    # -- metadata-filter helpers (all chunk-wise) ----------------------------------------
+    # -- shared-plan execution ------------------------------------------------------------
 
-    @staticmethod
-    def _selected_coordinates(metadata: ChunkedArray, attribute: str, predicate) -> np.ndarray:
-        """Coordinates along a 1-D metadata array whose attribute satisfies a predicate."""
-        filtered = ops.filter_attribute(metadata, attribute, predicate)
-        coordinates, _values = filtered.attribute_cells(attribute)
-        return coordinates[0]
+    def _run_expression_plan(self, plan):
+        """Execute one shared logical plan on the array frames.
 
-    def _subarray_for_patients(self, patient_ids: np.ndarray) -> ChunkedArray:
-        return ops.subarray_by_index(self.expression, "patient_id", patient_ids)
-
-    def _subarray_for_genes(self, gene_ids: np.ndarray) -> ChunkedArray:
-        return ops.subarray_by_index(self.expression, "gene_id", gene_ids)
+        Chunk-skip counters accumulate into ``self.filter_stats`` so tests
+        and diagnostics can observe how many metadata chunks the min/max
+        synopses eliminated.
+        """
+        return run_shared_plan(plan, self.frames, stats=self.filter_stats)
 
     # -- Q1 ---------------------------------------------------------------------------------
 
     def _run_regression(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         threshold = parameters.function_threshold(self.dataset.spec)
         with timer.data_management():
-            genes = self._selected_coordinates(
-                self.gene_function, "function", lambda v: v < threshold
-            )
-            sub = self._subarray_for_genes(genes)
+            result = self._run_expression_plan(gene_expression_plan(threshold))
+            genes = result.label("gene_id")
             response = self.drug_response.to_dense()
         with timer.analytics():
             # Regression goes through the ScaLAPACK tier: explicit conversion
             # from chunked to dense layout, then the LAPACK QR solver.
-            dense = array_linalg.to_scalapack(sub)
+            dense = array_linalg.to_scalapack(result.array)
             fit = linear_regression(dense, response, method="lapack")
         return QueryOutput(
             query="regression",
@@ -132,12 +162,12 @@ class SciDBEngine(Engine):
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         diseases = np.asarray(sorted(parameters.covariance_diseases), dtype=np.float64)
         with timer.data_management():
-            patients = self._selected_coordinates(
-                self.patient_disease, "disease_id", lambda v: np.isin(v, diseases)
+            result = self._run_expression_plan(
+                patient_expression_plan(col("disease_id").isin(diseases))
             )
-            sub = self._subarray_for_patients(patients)
+            patients = result.label("patient_id")
         with timer.analytics():
-            cov = array_linalg.covariance(sub)
+            cov = array_linalg.covariance(result.array)
             gene_a, gene_b, values = top_covariant_pairs(
                 cov, fraction=parameters.covariance_top_fraction
             )
@@ -159,28 +189,30 @@ class SciDBEngine(Engine):
 
     def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         with timer.data_management():
-            male = self._selected_coordinates(
-                self.patient_gender, "gender", lambda v: v == parameters.bicluster_gender
+            # One conjunction in one shared plan; the optimizer splits it
+            # and the chunk-wise pass evaluates both halves per chunk,
+            # skipping chunks either synopsis excludes.
+            result = self._run_expression_plan(
+                patient_expression_plan(
+                    (col("gender") == parameters.bicluster_gender)
+                    & (col("age") < parameters.bicluster_max_age)
+                )
             )
-            young = self._selected_coordinates(
-                self.patient_age, "age", lambda v: v < parameters.bicluster_max_age
-            )
-            patients = np.intersect1d(male, young)
-            sub = self._subarray_for_patients(patients)
+            patients = result.label("patient_id")
         with timer.analytics():
-            dense = array_linalg.to_scalapack(sub)
-            result = cheng_church(
+            dense = array_linalg.to_scalapack(result.array)
+            result_biclusters = cheng_church(
                 dense, n_biclusters=parameters.n_biclusters, seed=parameters.seed
             )
-        shapes = [bicluster.shape for bicluster in result]
+        shapes = [bicluster.shape for bicluster in result_biclusters]
         return QueryOutput(
             query="biclustering",
             summary={
                 "n_selected_patients": int(len(patients)),
-                "n_biclusters": int(len(result)),
+                "n_biclusters": int(len(result_biclusters)),
                 "largest_bicluster_cells": int(max((rows * cols for rows, cols in shapes), default=0)),
             },
-            payload=result,
+            payload=result_biclusters,
         )
 
     # -- Q4 ---------------------------------------------------------------------------------
@@ -188,21 +220,19 @@ class SciDBEngine(Engine):
     def _run_svd(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         threshold = parameters.function_threshold(self.dataset.spec)
         with timer.data_management():
-            genes = self._selected_coordinates(
-                self.gene_function, "function", lambda v: v < threshold
-            )
-            sub = self._subarray_for_genes(genes)
+            result = self._run_expression_plan(gene_expression_plan(threshold))
+            genes = result.label("gene_id")
         k = max(1, min(parameters.svd_k(self.dataset.spec), len(genes))) if len(genes) else 1
         with timer.analytics():
-            result = array_linalg.lanczos_svd_chunked(sub, k=k, seed=parameters.seed)
+            svd_result = array_linalg.lanczos_svd_chunked(result.array, k=k, seed=parameters.seed)
         return QueryOutput(
             query="svd",
             summary={
                 "n_selected_genes": int(len(genes)),
-                "k": int(len(result.singular_values)),
-                "top_singular_value": float(result.singular_values[0]) if len(result.singular_values) else 0.0,
+                "k": int(len(svd_result.singular_values)),
+                "top_singular_value": float(svd_result.singular_values[0]) if len(svd_result.singular_values) else 0.0,
             },
-            payload=result,
+            payload=svd_result,
         )
 
     # -- Q5 ---------------------------------------------------------------------------------
@@ -210,8 +240,13 @@ class SciDBEngine(Engine):
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
         sampled = statistics_patient_ids(self.dataset, parameters)
         with timer.data_management():
-            sub = self._subarray_for_patients(sampled)
-            gene_scores = ops.aggregate(sub, "value", "avg", along="gene_id")
+            # The per-gene score is the shared Aggregate plan: the patient
+            # membership predicate narrows the expression array to the
+            # sampled rows (a dimension subarray) and the mean runs
+            # chunk-wise along gene_id.
+            _gene_labels, gene_scores = self._run_expression_plan(
+                sampled_expression_mean_plan(sampled)
+            )
             membership = self.go_membership.to_dense()
         with timer.analytics():
             result = enrichment_analysis(

@@ -16,11 +16,16 @@ that stack faithfully, in miniature:
   regression, covariance and a power-iteration SVD expressed as MapReduce
   jobs over the naive kernels in :mod:`repro.linalg.naive`; biclustering is
   (as in Mahout) simply not provided.
+* :mod:`repro.mapreduce.bridge` — the shared-plan executor: lowers the
+  engine-agnostic logical plans of :mod:`repro.plan` onto MapReduce jobs,
+  fusing pushed-down predicates and pruned projections into the map phase
+  of the join job (filter-before-shuffle).
 """
 
 from repro.mapreduce.engine import JobCounters, MapReduceEngine, MapReduceJob
 from repro.mapreduce.hive import HiveSession, HiveTable
 from repro.mapreduce.mahout import Mahout
+from repro.mapreduce import bridge
 
 __all__ = [
     "MapReduceEngine",
@@ -29,4 +34,5 @@ __all__ = [
     "HiveTable",
     "HiveSession",
     "Mahout",
+    "bridge",
 ]

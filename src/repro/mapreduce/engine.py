@@ -19,8 +19,8 @@ benchmark results.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 
 #: A mapper takes one input record and yields (key, value) pairs.
@@ -42,6 +42,7 @@ class JobCounters:
     splits: int = 0
 
     def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for reports and job history dumps)."""
         return {
             "map_input_records": self.map_input_records,
             "map_output_records": self.map_output_records,
@@ -182,10 +183,12 @@ class MapReduceEngine:
 
     @property
     def total_shuffle_bytes(self) -> int:
+        """Serialised spill bytes across every job this engine has run."""
         return sum(result.counters.shuffle_bytes for result in self.history)
 
     @property
     def jobs_run(self) -> int:
+        """Number of jobs executed (the Hadoop adapter's job-count metric)."""
         return len(self.history)
 
 

@@ -5,16 +5,26 @@ compiles to (at least) one MapReduce job, so even a simple filter pays the
 map → spill → shuffle → reduce round trip.  That is precisely the cost
 structure the paper blames for Hive's slow data management ("Hive has only
 rudimentary query optimization").
+
+Predicates are shared-AST expressions (:mod:`repro.plan.expressions`),
+compiled to per-row-tuple callables with ``Expression.bind`` — a
+:class:`HiveTable` is itself a bindable schema (it has ``index_of``).
+Because the predicate is inspectable, :mod:`repro.mapreduce.bridge` can
+fuse it into the *map side* of the consuming join job so filtered-out
+rows are never serialised into the shuffle.  Raw dict-record callables
+are still accepted by :meth:`HiveSession.select` but deprecated.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.plan.expressions import Expression
 
 
 @dataclass
@@ -70,15 +80,38 @@ class HiveSession:
 
     # -- relational verbs ---------------------------------------------------------
 
-    def select(self, table: HiveTable, predicate: Callable[[dict], bool],
+    def select(self, table: HiveTable,
+               predicate: Expression | Callable[[dict], bool],
                result_name: str | None = None) -> HiveTable:
-        """Filter rows; the predicate sees a dict view of each row."""
+        """Filter rows with a shared-AST expression (one MapReduce job).
+
+        The expression is compiled against the table's schema with
+        ``Expression.bind`` and evaluated per row tuple in the map phase.
+        A raw callable over a dict view of each row is still accepted but
+        **deprecated** — the planner can't see inside it, so none of the
+        shared optimizer's rewrites (map-side join fusion above all) can
+        reach it.
+        """
         columns = table.columns
 
-        def mapper(row):
-            record = dict(zip(columns, row))
-            if predicate(record):
-                yield (None, row)
+        if isinstance(predicate, Expression):
+            bound = predicate.bind(table)
+
+            def mapper(row):
+                if bound(row):
+                    yield (None, row)
+        else:
+            warnings.warn(
+                "HiveSession.select(table, <callable>) is deprecated; pass an "
+                "expression built with repro.plan.col instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+
+            def mapper(row):
+                record = dict(zip(columns, row))
+                if predicate(record):
+                    yield (None, row)
 
         def reducer(_key, values):
             for row in values:

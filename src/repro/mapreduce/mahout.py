@@ -16,8 +16,6 @@ is deliberately the slow, job-structured one.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from repro.linalg import naive

@@ -46,6 +46,7 @@ from repro.plan.logical import (
 )
 from repro.plan.optimizer import (
     ColumnStats,
+    OptimizerCapabilities,
     PlanCatalog,
     PredicateClass,
     classify,
@@ -83,6 +84,7 @@ __all__ = [
     "Scan",
     "explain",
     "ColumnStats",
+    "OptimizerCapabilities",
     "PlanCatalog",
     "PredicateClass",
     "classify",

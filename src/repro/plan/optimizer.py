@@ -69,6 +69,40 @@ class ColumnStats:
     maximum: float | None = None
 
 
+@dataclass(frozen=True)
+class OptimizerCapabilities:
+    """Which rewrite rules an engine's executor can honour.
+
+    The five engine families run the *same* logical plans, but not every
+    executor can exploit every rewrite: the array DBMS's dimension join
+    has no build side to choose, Hive's "rudimentary query optimization"
+    neither reorders filters by statistics nor costs join sides, and R
+    evaluates a subset call exactly as the programmer wrote it.  Each
+    per-engine executor passes its capability profile to :func:`optimize`,
+    which applies only the enabled rules.
+
+    These flags gate *cost-based* rewrites only.  The correctness
+    constraints — the :class:`~repro.plan.logical.Sample` barrier, the
+    opaque-predicate ordering barrier, and the ``is_total`` guard on
+    join pushdown — are built into the rules themselves and hold for
+    every profile.
+
+    The default profile enables everything (the column store and the row
+    store honour all five rules).
+
+    >>> OptimizerCapabilities().join_build_side
+    True
+    >>> OptimizerCapabilities(join_build_side=False).predicate_pushdown
+    True
+    """
+
+    split_conjunctions: bool = True
+    predicate_pushdown: bool = True
+    filter_reordering: bool = True
+    join_build_side: bool = True
+    projection_pruning: bool = True
+
+
 class PlanCatalog:
     """What the optimizer may ask an engine about its tables.
 
@@ -507,7 +541,8 @@ def collapse_projects(node: PlanNode) -> PlanNode:
     return node
 
 
-def optimize(node: PlanNode, catalog: PlanCatalog | None = None) -> PlanNode:
+def optimize(node: PlanNode, catalog: PlanCatalog | None = None,
+             capabilities: OptimizerCapabilities | None = None) -> PlanNode:
     """Apply the rewrite rules in a fixed, deterministic order.
 
     Splitting must precede pushdown (so each conjunct moves independently),
@@ -515,14 +550,24 @@ def optimize(node: PlanNode, catalog: PlanCatalog | None = None) -> PlanNode:
     join input's estimate), and pruning runs last over the settled shape.
     Every rule preserves the plan's result set exactly; only execution
     order, decoded columns and the join build side change.
+
+    ``capabilities`` restricts the rule set to what the target engine's
+    executor can honour (:class:`OptimizerCapabilities`); the default
+    profile applies every rule.
     """
     catalog = catalog or PlanCatalog()
-    node = split_filter_conjunctions(node)
-    node = push_filters_down(node, catalog)
-    node = reorder_filters(node, catalog)
-    node = choose_join_build_side(node, catalog)
-    node = prune_projections(node, catalog)
-    node = collapse_projects(node)
+    capabilities = capabilities or OptimizerCapabilities()
+    if capabilities.split_conjunctions:
+        node = split_filter_conjunctions(node)
+    if capabilities.predicate_pushdown:
+        node = push_filters_down(node, catalog)
+    if capabilities.filter_reordering:
+        node = reorder_filters(node, catalog)
+    if capabilities.join_build_side:
+        node = choose_join_build_side(node, catalog)
+    if capabilities.projection_pruning:
+        node = prune_projections(node, catalog)
+        node = collapse_projects(node)
     return node
 
 

@@ -13,12 +13,16 @@ BLAS/LAPACK.  This package reproduces that environment:
   configurations pay for,
 * :mod:`repro.rlang.stats` — ``lm``, ``cov``, ``svd``, ``biclust`` and
   ``wilcox_test`` built on the shared kernels of :mod:`repro.linalg`
-  (the BLAS tier, as in R).
+  (the BLAS tier, as in R),
+* :mod:`repro.rlang.bridge` — the shared-plan executor: lowers the
+  engine-agnostic logical plans of :mod:`repro.plan` onto the R verbs
+  (vectorised ``subset``, ``merge``, ``pivot_matrix``).
 """
 
 from repro.rlang.dataframe import DataFrame, RMemoryError, REnvironment
 from repro.rlang.io import read_csv, write_csv, dataframe_from_csv_string, dataframe_to_csv_string
 from repro.rlang.stats import lm, cov, svd, biclust, wilcox_test, enrichment
+from repro.rlang import bridge
 
 __all__ = [
     "DataFrame",
@@ -34,4 +38,5 @@ __all__ = [
     "biclust",
     "wilcox_test",
     "enrichment",
+    "bridge",
 ]

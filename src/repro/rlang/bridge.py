@@ -1,0 +1,173 @@
+"""Execute shared logical plans (:mod:`repro.plan`) on the R-like frames.
+
+The fourth per-engine executor, next to
+:func:`repro.colstore.planner.run_plan` (column store),
+:func:`repro.relational.bridge.run_shared_plan` (row store) and
+:func:`repro.arraydb.bridge.run_shared_plan` (array DBMS): the same plan
+objects from :mod:`repro.core.queries` lower onto the R verbs —
+``Filter`` becomes a vectorised :meth:`~repro.rlang.dataframe.DataFrame.subset`
+(the expression evaluates over the frame's columns as one numpy mask),
+``Project`` becomes ``select``, ``Join`` becomes ``merge`` (R's hash
+join) re-ordered to the shared output convention, ``Sample`` becomes
+``sample_rows``, and the ``Pivot`` terminal is the long-to-wide
+``pivot_matrix`` reshape.  Every intermediate allocates through the
+:class:`~repro.rlang.dataframe.REnvironment`, so the configuration's
+memory ceiling bites exactly where it did before the migration.
+
+The optimizer runs with :data:`R_CAPABILITIES`: conjunctions split into
+stacked subsets and predicates push below the merge (the idiomatic
+"subset before merge" every R programmer writes), but there is no
+statistics-based filter reordering and no build-side choice — R's
+``merge`` always hashes its right operand and the interpreter has no
+optimizer to consult.
+
+>>> import numpy as np
+>>> from repro.plan import Filter, Join, Pivot, Scan, col
+>>> from repro.rlang.dataframe import DataFrame
+>>> frames = {
+...     "patients": DataFrame({"patient_id": np.array([0, 1, 2]),
+...                            "age": np.array([30, 50, 20])}),
+...     "micro": DataFrame({"patient_id": np.array([0, 0, 1, 2]),
+...                         "gene_id": np.array([0, 1, 0, 1]),
+...                         "value": np.array([1.0, 2.0, 3.0, 4.0])}),
+... }
+>>> plan = Pivot(Join(Filter(Scan("patients"), col("age") < 45),
+...                   Scan("micro"), "patient_id", "patient_id"),
+...              "patient_id", "gene_id", "value")
+>>> matrix, rows, cols = run_shared_plan(plan, frames)
+>>> rows.tolist(), matrix.tolist()
+([0, 2], [[1.0, 2.0], [0.0, 4.0]])
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.plan import logical
+from repro.plan.optimizer import (
+    ColumnStats,
+    OptimizerCapabilities,
+    PlanCatalog,
+    optimize,
+    output_columns,
+)
+from repro.rlang.dataframe import DataFrame
+
+#: The optimizer profile the R executor honours: splitting and pushdown
+#: (subset-before-merge) plus pruning, but no statistics-driven filter
+#: reordering and no join build-side choice (R's merge hashes the right
+#: operand unconditionally).
+R_CAPABILITIES = OptimizerCapabilities(
+    filter_reordering=False, join_build_side=False
+)
+
+
+class RDataFrameCatalog(PlanCatalog):
+    """Expose the data frames' schemas (and row counts) to the optimizer."""
+
+    def __init__(self, frames: Mapping[str, DataFrame]):
+        self.frames = dict(frames)
+
+    def columns_of(self, table: str) -> list[str] | None:
+        frame = self.frames.get(table)
+        return None if frame is None else frame.names
+
+    def stats_of(self, table: str, column: str) -> ColumnStats | None:
+        frame = self.frames.get(table)
+        if frame is None or column not in frame:
+            return None
+        return ColumnStats(row_count=len(frame))
+
+
+def optimize_shared_plan(plan: logical.PlanNode,
+                         frames: Mapping[str, DataFrame]) -> logical.PlanNode:
+    """Run the shared optimizer with the frames' schemas."""
+    return optimize(plan, RDataFrameCatalog(frames), R_CAPABILITIES)
+
+
+def run_shared_plan(plan: logical.PlanNode, frames: Mapping[str, DataFrame],
+                    optimized: bool = True):
+    """Execute a shared logical plan against in-memory R data frames.
+
+    Relational-algebra plans return a :class:`DataFrame`;
+    :class:`~repro.plan.logical.Aggregate` returns ``(group_keys,
+    aggregates)`` sorted by key and :class:`~repro.plan.logical.Pivot`
+    returns ``(matrix, row_labels, column_labels)`` with sorted labels —
+    the shared executor contract.
+
+    Args:
+        plan: the shared logical plan tree.
+        frames: scan name → :class:`DataFrame`.
+        optimized: run the shared optimizer first (pass False to lower the
+            plan exactly as written — the equivalence tests compare both).
+    """
+    if optimized:
+        plan = optimize_shared_plan(plan, frames)
+    if isinstance(plan, logical.Aggregate):
+        frame = _lower(plan.child, frames)
+        return _group_aggregate(frame, plan.group_by, plan.value, plan.function)
+    if isinstance(plan, logical.Pivot):
+        frame = _lower(plan.child, frames)
+        return frame.pivot_matrix(plan.row_key, plan.column_key, plan.value)
+    return _lower(plan, frames)
+
+
+def _lower(node: logical.PlanNode, frames: Mapping[str, DataFrame]) -> DataFrame:
+    if isinstance(node, logical.Scan):
+        frame = frames.get(node.table)
+        if frame is None:
+            raise KeyError(f"no frame named {node.table!r}; have {sorted(frames)}")
+        return frame
+    if isinstance(node, logical.Filter):
+        return _lower(node.child, frames).subset(node.predicate)
+    if isinstance(node, logical.Project):
+        return _lower(node.child, frames).select(list(node.columns))
+    if isinstance(node, logical.Sample):
+        return _lower(node.child, frames).sample_rows(node.fraction, node.seed)
+    if isinstance(node, logical.Join):
+        left = _lower(node.left, frames)
+        right = _lower(node.right, frames)
+        collisions = (set(left.names) & set(right.names)) - {node.right_key}
+        if collisions:
+            raise ValueError(
+                f"join output columns collide: {sorted(collisions)}; project "
+                "the inputs apart first"
+            )
+        merged = left.merge(right, by=node.left_key, by_other=node.right_key)
+        shared_names = output_columns(node, RDataFrameCatalog(frames))
+        if shared_names is None:
+            shared_names = left.names + [
+                name for name in right.names if name != node.right_key
+            ]
+        return merged.select(shared_names)
+    raise TypeError(
+        f"cannot execute plan node {type(node).__name__} on the R environment"
+    )
+
+
+def _group_aggregate(frame: DataFrame, group_by: str, value: str,
+                     function: str) -> tuple[np.ndarray, np.ndarray]:
+    """Single-key GROUP BY over a frame, vectorised with numpy.
+
+    Returns sorted distinct keys and one aggregate per key, matching the
+    column store's ``group_aggregate`` contract.
+    """
+    if function not in ("count", "sum", "mean", "min", "max"):
+        raise ValueError(f"unsupported aggregate {function!r}")
+    keys = frame[group_by]
+    values = frame[value].astype(np.float64)
+    labels, inverse = np.unique(keys, return_inverse=True)
+    counts = np.bincount(inverse, minlength=len(labels))
+    if function == "count":
+        return labels, counts.astype(np.float64)
+    if function in ("sum", "mean"):
+        sums = np.bincount(inverse, weights=values, minlength=len(labels))
+        if function == "sum":
+            return labels, sums
+        return labels, sums / counts
+    out = np.full(len(labels), np.inf if function == "min" else -np.inf)
+    scatter = np.minimum.at if function == "min" else np.maximum.at
+    scatter(out, inverse, values)
+    return labels, out

@@ -7,6 +7,7 @@ import pytest
 
 from repro.arraydb import ArraySchema, Attribute, ChunkedArray, Dimension, linalg, operators as ops
 from repro.arraydb.chunk import Chunk
+from repro.plan import col
 
 
 @pytest.fixture()
@@ -102,11 +103,63 @@ class TestChunkedArray:
 class TestOperators:
     def test_filter_keeps_shape_masks_cells(self, expression_array):
         array, matrix = expression_array
-        filtered = ops.filter_attribute(array, "value", lambda v: v > 0.5)
+        filtered = ops.filter_attribute(array, None, col("value") > 0.5)
         assert filtered.cell_count == int((matrix > 0.5).sum())
         dense = filtered.to_dense(fill=0.0)
         np.testing.assert_allclose(dense[matrix > 0.5], matrix[matrix > 0.5])
         assert np.all(dense[matrix <= 0.5] == 0.0)
+
+    def test_filter_expression_validates_attributes(self, expression_array):
+        array, _ = expression_array
+        with pytest.raises(KeyError):
+            ops.filter_attribute(array, None, col("bogus") > 0.5)
+        with pytest.raises(KeyError):
+            ops.filter_attribute(array, "bogus", col("value") > 0.5)
+
+    def test_filter_range_predicate_skips_chunks(self):
+        # Sorted values: every chunk past the threshold is excluded by its
+        # min/max synopsis and must be skipped without touching its cells.
+        values = np.arange(100.0)
+        array = ChunkedArray.from_dense("v", values, ["i"], "v", chunk_sizes=[10])
+        stats = ops.FilterStats()
+        filtered = ops.filter_attribute(array, None, col("v") < 25, stats=stats)
+        coords, kept = filtered.attribute_cells("v")
+        np.testing.assert_array_equal(coords[0], np.arange(25))
+        assert stats.chunks_skipped == 7
+        assert stats.chunks_scanned == 3
+        assert stats.cells_kept == 25
+
+    def test_filter_all_chunks_skipped(self):
+        values = np.arange(50.0)
+        array = ChunkedArray.from_dense("v", values, ["i"], "v", chunk_sizes=[10])
+        stats = ops.FilterStats()
+        filtered = ops.filter_attribute(array, None, col("v") > 1e6, stats=stats)
+        assert filtered.cell_count == 0
+        assert stats.chunks_skipped == 5
+        assert stats.chunks_scanned == 0
+
+    def test_filter_skip_is_exact_about_strictness(self):
+        values = np.arange(30.0)
+        array = ChunkedArray.from_dense("v", values, ["i"], "v", chunk_sizes=[10])
+        # v <= 10 must keep the boundary cell in the second chunk (min=10).
+        kept = ops.filter_attribute(array, None, col("v") <= 10)
+        coords, _ = kept.attribute_cells("v")
+        np.testing.assert_array_equal(coords[0], np.arange(11))
+        # v < 10 may skip that chunk entirely.
+        stats = ops.FilterStats()
+        strict = ops.filter_attribute(array, None, col("v") < 10, stats=stats)
+        coords, _ = strict.attribute_cells("v")
+        np.testing.assert_array_equal(coords[0], np.arange(10))
+        assert stats.chunks_skipped == 2
+
+    def test_filter_legacy_callable_warns_and_matches(self, expression_array):
+        array, matrix = expression_array
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = ops.filter_attribute(array, "value", lambda v: v > 0.5)
+        expression = ops.filter_attribute(array, None, col("value") > 0.5)
+        np.testing.assert_array_equal(
+            legacy.to_dense(fill=np.nan), expression.to_dense(fill=np.nan)
+        )
 
     def test_between_restricts_coordinates(self, expression_array):
         array, matrix = expression_array
@@ -151,7 +204,7 @@ class TestOperators:
 
     def test_aggregate_respects_mask(self, expression_array):
         array, matrix = expression_array
-        filtered = ops.filter_attribute(array, "value", lambda v: v > 0.5)
+        filtered = ops.filter_attribute(array, None, col("value") > 0.5)
         assert ops.aggregate(filtered, "value", "count") == int((matrix > 0.5).sum())
 
     def test_cross_join_broadcasts_metadata(self, expression_array, rng):

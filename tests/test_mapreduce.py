@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.mapreduce import HiveSession, HiveTable, Mahout, MapReduceEngine, MapReduceJob
+from repro.plan import col
 
 
 def word_count_job() -> MapReduceJob:
@@ -116,9 +117,15 @@ class TestHive:
 
     def test_select_runs_as_job(self, session, genes):
         before = session.engine.jobs_run
-        selected = session.select(genes, lambda row: row["function"] < 10)
+        selected = session.select(genes, col("function") < 10)
         assert {row[0] for row in selected.rows} == {0, 3}
         assert session.engine.jobs_run == before + 1
+
+    def test_select_legacy_callable_warns_and_matches(self, session, genes):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = session.select(genes, lambda row: row["function"] < 10)
+        expression = session.select(genes, col("function") < 10)
+        assert legacy.rows == expression.rows
 
     def test_project(self, session, genes):
         projected = session.project(genes, ["function"])
@@ -126,7 +133,7 @@ class TestHive:
         assert sorted(row[0] for row in projected.rows) == [5, 8, 15, 25, 40]
 
     def test_join_matches_expected_cardinality(self, session, genes, micro):
-        selected = session.select(genes, lambda row: row["function"] < 10)
+        selected = session.select(genes, col("function") < 10)
         projected = session.project(selected, ["gene_id"])
         joined = session.join(projected, micro, "gene_id", "gene_id")
         assert len(joined) == 2 * 3
