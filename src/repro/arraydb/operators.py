@@ -125,7 +125,11 @@ def expression_skips_chunk(expression: Expression, minimum: float, maximum: floa
             keys = expression.key_array()
             if not np.issubdtype(keys.dtype, np.number):
                 return False
-            return not bool(np.any((keys >= minimum) & (keys <= maximum)))
+            # key_array() is sorted: the smallest key >= minimum either
+            # falls inside [minimum, maximum] or no key does — O(log k)
+            # instead of scanning every key per chunk.
+            position = int(np.searchsorted(keys, minimum, side="left"))
+            return position == len(keys) or float(keys[position]) > maximum
         except (TypeError, ValueError):
             return False
     if isinstance(expression, BooleanOp):

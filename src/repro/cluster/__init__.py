@@ -35,6 +35,16 @@ from repro.cluster.partitioner import (
 from repro.cluster.network import NetworkModel, TransferRecord
 from repro.cluster.cluster import Cluster, NodeTiming, ParallelRunResult
 from repro.cluster.scalapack import DistributedMatrix, ScaLAPACK
+from repro.cluster.bridge import (
+    ColumnSynopsis,
+    PartitionedTable,
+    PartitionStats,
+    PartitionSynopsis,
+    expression_skips_partition,
+    merge_gathered,
+    reduce_partial_sums,
+    run_shared_plan,
+)
 
 __all__ = [
     "HashPartitioner",
@@ -48,4 +58,12 @@ __all__ = [
     "ParallelRunResult",
     "DistributedMatrix",
     "ScaLAPACK",
+    "ColumnSynopsis",
+    "PartitionedTable",
+    "PartitionStats",
+    "PartitionSynopsis",
+    "expression_skips_partition",
+    "merge_gathered",
+    "reduce_partial_sums",
+    "run_shared_plan",
 ]

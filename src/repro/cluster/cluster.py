@@ -1,9 +1,8 @@
 """The simulated cluster: per-node execution plus a parallel time model.
 
-How the simulation works (also documented in DESIGN.md):
+How the simulation works (the substrate's design notes):
 
-* every node's work runs for real, sequentially, in this process, and is
-  wall-clock timed per node;
+* every node's work runs for real, in this process, and is timed per node;
 * the *simulated parallel elapsed time* of a phase is the maximum per-node
   compute time (the nodes would have run concurrently) plus the network
   time charged by the :class:`~repro.cluster.network.NetworkModel`;
@@ -14,15 +13,43 @@ How the simulation works (also documented in DESIGN.md):
 That reproduces the paper's multi-node behaviour: more nodes reduce the
 max-per-node compute term but grow the communication term, which is why no
 system shows linear speedup and some regress from one node to two.
+
+Executor choice and timing semantics
+------------------------------------
+
+:meth:`Cluster.run_on_nodes` supports two executors:
+
+* ``"threads"`` (the default) dispatches the per-node work items to a
+  ``ThreadPoolExecutor``.  The heavy per-node work is numpy, which releases
+  the GIL, so fragments genuinely overlap and the *real* wall clock of a
+  phase approaches the slowest fragment on multi-core hosts.  Per-node
+  compute is measured with :func:`time.thread_time` (per-thread CPU
+  seconds), so scheduler interference between concurrently running
+  fragments does not inflate any node's measurement — the simulated
+  max-per-node + network model is unchanged by the executor choice.
+* ``"sequential"`` is the deterministic fallback: nodes run one after
+  another and are wall-clock timed (:func:`time.perf_counter`), exactly
+  the pre-threading behaviour.  Use it when profiling per-node work or
+  when thread-CPU clocks are unreliable (e.g. under some profilers).
+
+Caveat recorded deliberately: ``thread_time`` counts only the submitting
+thread, so per-node kernels that fan out into their *own* thread pools
+(multi-threaded BLAS) would be under-counted on the threaded path; the
+per-node work the engines submit is single-threaded numpy.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cluster.network import NetworkModel
+
+#: Valid values for :attr:`Cluster.executor`.
+EXECUTORS = ("threads", "sequential")
 
 
 @dataclass
@@ -41,14 +68,20 @@ class ParallelRunResult:
         outputs: per-node outputs, in node order.
         elapsed_seconds: simulated parallel elapsed time of the phase
             (max per-node compute + network seconds charged during it).
-        per_node_seconds: measured compute seconds per node.
+        per_node_seconds: measured compute seconds per node (thread-CPU
+            seconds on the threaded executor, wall clock sequentially).
         network_seconds: network seconds charged during the phase.
+        wall_seconds: real (non-simulated) wall clock of the whole
+            dispatch — what the driver process actually waited.  On the
+            threaded executor this approaches the slowest fragment;
+            sequentially it is the sum of all fragments.
     """
 
     outputs: list
     elapsed_seconds: float
     per_node_seconds: list[float]
     network_seconds: float
+    wall_seconds: float = 0.0
 
 
 @dataclass
@@ -58,14 +91,20 @@ class Cluster:
     Attributes:
         n_nodes: number of nodes.
         network: the interconnect model shared by all phases.
+        executor: ``"threads"`` (concurrent fragments, per-thread CPU
+            timing) or ``"sequential"`` (the deterministic fallback) —
+            see the module docstring for the timing semantics.
     """
 
     n_nodes: int
     network: NetworkModel = field(default_factory=NetworkModel)
+    executor: str = "threads"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
         self.node_timings = [NodeTiming(node_id=i) for i in range(self.n_nodes)]
         self._simulated_elapsed = 0.0
 
@@ -87,14 +126,14 @@ class Cluster:
                 f"expected {self.n_nodes} work items, got {len(per_node_work)}"
             )
         network_before = self.network.total_seconds
-        outputs = []
-        per_node_seconds = []
-        for node_id, work in enumerate(per_node_work):
-            started = time.perf_counter()
-            outputs.append(work(node_id))
-            elapsed = time.perf_counter() - started
-            per_node_seconds.append(elapsed)
-            self.node_timings[node_id].compute_seconds += elapsed
+        wall_started = time.perf_counter()
+        if self.executor == "threads" and self.n_nodes > 1:
+            outputs, per_node_seconds = self._run_threaded(per_node_work)
+        else:
+            outputs, per_node_seconds = self._run_sequential(per_node_work)
+        wall_seconds = time.perf_counter() - wall_started
+        for node_id, seconds in enumerate(per_node_seconds):
+            self.node_timings[node_id].compute_seconds += seconds
         network_seconds = self.network.total_seconds - network_before
         phase_elapsed = (max(per_node_seconds) if per_node_seconds else 0.0) + network_seconds
         self._simulated_elapsed += phase_elapsed
@@ -103,7 +142,40 @@ class Cluster:
             elapsed_seconds=phase_elapsed,
             per_node_seconds=per_node_seconds,
             network_seconds=network_seconds,
+            wall_seconds=wall_seconds,
         )
+
+    @staticmethod
+    def _run_sequential(per_node_work: Sequence[Callable[[int], object]]) -> tuple[list, list[float]]:
+        outputs, per_node_seconds = [], []
+        for node_id, work in enumerate(per_node_work):
+            started = time.perf_counter()
+            outputs.append(work(node_id))
+            per_node_seconds.append(time.perf_counter() - started)
+        return outputs, per_node_seconds
+
+    def _run_threaded(self, per_node_work: Sequence[Callable[[int], object]]) -> tuple[list, list[float]]:
+        # Per-node work must not touch shared driver state: the engines'
+        # fragments are pure compute over their own partition (network
+        # transfers happen between phases, on the driver).  Timing uses the
+        # per-thread CPU clock so concurrent fragments do not inflate each
+        # other's measurement; the pool is per-call, so no idle threads
+        # outlive the phase.
+        def run_one(node_id: int, work: Callable[[int], object]) -> tuple[object, float]:
+            started = time.thread_time()
+            output = work(node_id)
+            return output, time.thread_time() - started
+
+        max_workers = min(self.n_nodes, os.cpu_count() or 1)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(run_one, node_id, work)
+                for node_id, work in enumerate(per_node_work)
+            ]
+            paired = [future.result() for future in futures]
+        outputs = [output for output, _seconds in paired]
+        per_node_seconds = [seconds for _output, seconds in paired]
+        return outputs, per_node_seconds
 
     def map_partitions(self, partitions: Sequence, function: Callable[[object, int], object]) -> ParallelRunResult:
         """Apply ``function(partition, node_id)`` to each node's partition."""

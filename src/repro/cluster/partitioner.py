@@ -32,6 +32,27 @@ class Partitioner:
         return [np.flatnonzero(assignment == p) for p in range(self.n_partitions)]
 
 
+def _stable_string_hash(keys: np.ndarray) -> np.ndarray:
+    """Vectorised FNV-1a over each key's UCS-4 code points.
+
+    Python's builtin ``hash()`` on str/bytes is salted by ``PYTHONHASHSEED``
+    and therefore differs between processes — a hash partitioner built on
+    it would scatter the same keys differently on every run.  This hash
+    depends only on the characters themselves.
+    """
+    as_str = keys.astype(np.str_)
+    if as_str.dtype.itemsize == 0:  # every key is the empty string
+        return np.zeros(len(as_str), dtype=np.int64)
+    # A numpy unicode array is fixed-width UCS-4: viewing it as uint32
+    # exposes the (zero-padded) code points as a dense matrix.
+    codes = as_str.view(np.uint32).reshape(len(as_str), -1).astype(np.uint64)
+    hashed = np.full(len(as_str), np.uint64(14695981039346656037))
+    prime = np.uint64(1099511628211)
+    for column in codes.T:
+        hashed = (hashed ^ column) * prime
+    return hashed.view(np.int64)
+
+
 @dataclass
 class HashPartitioner(Partitioner):
     """Partition by a deterministic integer hash of the key."""
@@ -42,23 +63,39 @@ class HashPartitioner(Partitioner):
 
     def assign(self, keys: np.ndarray) -> np.ndarray:
         keys = np.asarray(keys)
-        # Knuth-style multiplicative hash on the integer representation.
-        as_int = keys.astype(np.int64, copy=False) if np.issubdtype(keys.dtype, np.number) else np.asarray(
-            [hash(k) for k in keys.tolist()], dtype=np.int64
-        )
+        # Knuth-style multiplicative hash on the integer representation;
+        # non-numeric keys get a PYTHONHASHSEED-free string hash first.
+        as_int = keys.astype(np.int64, copy=False) if np.issubdtype(keys.dtype, np.number) else _stable_string_hash(keys)
         mixed = (as_int * np.int64(2654435761) + np.int64(self.seed)) & np.int64(0x7FFFFFFF)
         return (mixed % self.n_partitions).astype(np.int64)
 
 
 class RangePartitioner(Partitioner):
-    """Partition by contiguous key ranges (equi-depth over the observed keys)."""
+    """Partition by contiguous key ranges (equi-depth over the observed keys).
+
+    Integer keys are partitioned in integer space: boundaries are actual
+    observed keys picked at equi-depth positions of the sorted key array.
+    (A float64 round-trip would corrupt int64 keys above 2**53 — adjacent
+    patient ids collapse onto one float and boundary keys land in the
+    wrong partition.)  Float keys keep the quantile-based boundaries.
+    """
 
     def assign(self, keys: np.ndarray) -> np.ndarray:
-        keys = np.asarray(keys, dtype=np.float64)
+        keys = np.asarray(keys)
         if len(keys) == 0:
             return np.empty(0, dtype=np.int64)
-        quantiles = np.quantile(keys, np.linspace(0, 1, self.n_partitions + 1)[1:-1]) if self.n_partitions > 1 else np.empty(0)
-        return np.searchsorted(quantiles, keys, side="right").astype(np.int64)
+        if np.issubdtype(keys.dtype, np.integer) or keys.dtype == np.bool_:
+            working = keys.astype(np.int64, copy=False)
+            if self.n_partitions > 1:
+                ordered = np.sort(working)
+                positions = (np.arange(1, self.n_partitions) * len(ordered)) // self.n_partitions
+                boundaries = ordered[positions]
+            else:
+                boundaries = np.empty(0, dtype=np.int64)
+            return np.searchsorted(boundaries, working, side="right").astype(np.int64)
+        working = keys.astype(np.float64)
+        quantiles = np.quantile(working, np.linspace(0, 1, self.n_partitions + 1)[1:-1]) if self.n_partitions > 1 else np.empty(0)
+        return np.searchsorted(quantiles, working, side="right").astype(np.int64)
 
 
 class BlockCyclicPartitioner(Partitioner):

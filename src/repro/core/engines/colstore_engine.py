@@ -21,10 +21,11 @@ import numpy as np
 from repro.colstore import ColumnStore
 from repro.colstore.planner import run_plan
 from repro.colstore.udf import UdfHost
-from repro.plan import col
 from repro.core.engines.base import Engine, EngineCapabilities
 from repro.core.queries import (
     QueryOutput,
+    bicluster_patient_predicate,
+    covariance_patient_predicate,
     expression_pivot_plan,
     gene_expression_plan,
     patient_expression_plan,
@@ -182,13 +183,12 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
         )
 
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        diseases = np.asarray(sorted(parameters.covariance_diseases))
         with timer.data_management():
             # One fused plan: patients(disease ∈ …) ⋈ microarray → pivot.
             # The disease predicate runs below the join on the patients side
             # and only the join key crosses it (see the Q2 plan snapshot).
             matrix, _patients, gene_labels = self._run_pivot_plan(
-                patient_expression_plan(col("disease_id").isin(diseases))
+                patient_expression_plan(covariance_patient_predicate(parameters))
             )
         cov = self._analytics_covariance(matrix, timer)
         with timer.analytics():
@@ -216,10 +216,7 @@ class _ColumnStoreQueryMixin(_ColumnStoreDataManagement):
             # optimizer splits it, pushes both halves below the join onto
             # the patients side and runs the more selective half first.
             matrix, _patients, _genes = self._run_pivot_plan(
-                patient_expression_plan(
-                    (col("gender") == parameters.bicluster_gender)
-                    & (col("age") < parameters.bicluster_max_age)
-                )
+                patient_expression_plan(bicluster_patient_predicate(parameters))
             )
         result = self._analytics_biclustering(matrix, parameters, timer)
         shapes = [bicluster.shape for bicluster in result]

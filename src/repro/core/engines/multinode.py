@@ -7,8 +7,14 @@ them are built here on the :mod:`repro.cluster` substrate:
 * the expression matrix and patient metadata are row-partitioned across the
   simulated nodes at load time (gene metadata and GO data are replicated,
   as every real system does for small dimension tables);
-* the data-management phase runs per node on that node's partition, and its
-  simulated elapsed time is the slowest node plus any network traffic;
+* the data-management phase is a shared logical plan
+  (``Filter(Scan("patients"), predicate)`` with predicates built by
+  :mod:`repro.core.queries`) lowered through :mod:`repro.cluster.bridge`:
+  partitions whose min/max + distinct-set synopses exclude the predicate
+  are pruned on the driver before dispatch (``partition_stats`` counts
+  them), and the surviving fragments run concurrently on the cluster's
+  threaded executor; simulated elapsed time remains the slowest node plus
+  any network traffic;
 * the analytics phase differs by configuration:
 
   - **pbdR** and **column store + pbdR** use the ScaLAPACK layer
@@ -34,13 +40,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cluster import Cluster, DistributedMatrix, ScaLAPACK
+from repro.cluster import (
+    Cluster,
+    DistributedMatrix,
+    PartitionedTable,
+    PartitionStats,
+    ScaLAPACK,
+    merge_gathered,
+    reduce_partial_sums,
+)
+from repro.cluster.bridge import run_shared_plan as run_cluster_plan
 from repro.core.engines.base import Engine, EngineCapabilities
 from repro.core.queries import (
     QueryOutput,
+    bicluster_patient_predicate,
+    covariance_patient_predicate,
     gene_expression_plan,
     patient_expression_plan,
     statistics_patient_ids,
+    statistics_patient_predicate,
 )
 from repro.core.spec import QueryParameters
 from repro.core.timing import PhaseTimer
@@ -50,7 +68,7 @@ from repro.linalg.covariance import top_covariant_pairs
 from repro.linalg.wilcoxon import enrichment_analysis
 from repro.mapreduce import HiveSession, HiveTable, Mahout, MapReduceEngine
 from repro.mapreduce.bridge import driver_pivot, run_shared_plan
-from repro.plan import col
+from repro.plan import Filter, Scan
 
 
 @dataclass
@@ -94,6 +112,22 @@ class _MultiNodeEngine(Engine):
             )
             for ids in boundaries
         ]
+        # Driver-resident metadata for the shared-plan bridge: per-partition
+        # synopses over the patient columns drive partition pruning, and
+        # partition_stats mirrors the array engine's filter_stats.
+        self.partition_stats = PartitionStats()
+        self._patients_table = PartitionedTable.from_partitions(
+            "patients",
+            [
+                {
+                    "patient_id": partition.patient_ids,
+                    "age": partition.age,
+                    "gender": partition.gender,
+                    "disease_id": partition.disease_id,
+                }
+                for partition in self.partitions
+            ],
+        )
         self.gene_function = dataset.genes.function
         self.go_membership = dataset.ontology.membership
         self.n_go_terms = dataset.ontology.n_go_terms
@@ -109,21 +143,32 @@ class _MultiNodeEngine(Engine):
 
     # -- per-node data-management primitives ---------------------------------------------------
 
-    def _filter_patients_local(self, predicate) -> list[NodePartition]:
-        """Apply a patient predicate on every node, returning filtered partitions."""
-        def local(partition: NodePartition, _node: int) -> NodePartition:
-            mask = predicate(partition)
+    def _patient_filter_plan(self, predicate) -> Filter:
+        """The shared logical plan for a patient filter on this cluster."""
+        return Filter(Scan("patients"), predicate)
+
+    def _filter_patients_plan(self, predicate) -> list[NodePartition]:
+        """Lower a shared patient predicate through the cluster bridge.
+
+        Partitions whose synopsis excludes the predicate are pruned on the
+        driver (counted in ``partition_stats``); surviving fragments
+        evaluate the expression and subset their partition on the node.
+        """
+        def subset(node_id: int, local_rows: np.ndarray) -> NodePartition:
+            partition = self.partitions[node_id]
             return NodePartition(
-                patient_ids=partition.patient_ids[mask],
-                expression=partition.expression[mask],
-                age=partition.age[mask],
-                gender=partition.gender[mask],
-                disease_id=partition.disease_id[mask],
-                drug_response=partition.drug_response[mask],
+                patient_ids=partition.patient_ids[local_rows],
+                expression=partition.expression[local_rows],
+                age=partition.age[local_rows],
+                gender=partition.gender[local_rows],
+                disease_id=partition.disease_id[local_rows],
+                drug_response=partition.drug_response[local_rows],
             )
 
-        result = self.cluster.map_partitions(self.partitions, local)
-        return list(result.outputs)
+        return run_cluster_plan(
+            self._patient_filter_plan(predicate), self._patients_table, self.cluster,
+            stats=self.partition_stats, on_fragment=subset,
+        )
 
     def _project_genes_local(self, partitions: list[NodePartition], gene_ids: np.ndarray) -> list[np.ndarray]:
         """Project each node's expression block onto the selected gene columns."""
@@ -151,10 +196,8 @@ class _MultiNodeEngine(Engine):
             return gathered.outputs
 
         outputs = self._timed_cluster_phase(timer_add, work)
-        stackable = [np.asarray(block) for block in outputs if np.asarray(block).size]
-        if not stackable:
-            return np.empty((0, blocks[0].shape[1] if blocks and blocks[0].ndim == 2 else 0))
-        return np.vstack(stackable)
+        n_columns = blocks[0].shape[1] if blocks and blocks[0].ndim == 2 else 0
+        return merge_gathered(outputs, n_columns)
 
     # -- selections (replicated metadata, evaluated on the driver) ------------------------------
 
@@ -194,12 +237,10 @@ class _DistributedAnalyticsMixin(_MultiNodeEngine):
         )
 
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        diseases = np.asarray(sorted(parameters.covariance_diseases))
+        predicate = covariance_patient_predicate(parameters)
 
         def dm():
-            filtered = self._filter_patients_local(
-                lambda p: np.isin(p.disease_id, diseases)
-            )
+            filtered = self._filter_patients_plan(predicate)
             blocks = [partition.expression for partition in filtered]
             return filtered, self._maybe_redistribute(blocks)
 
@@ -224,12 +265,10 @@ class _DistributedAnalyticsMixin(_MultiNodeEngine):
         )
 
     def _run_biclustering(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
+        predicate = bicluster_patient_predicate(parameters)
+
         def dm():
-            filtered = self._filter_patients_local(
-                lambda p: (p.gender == parameters.bicluster_gender)
-                & (p.age < parameters.bicluster_max_age)
-            )
-            return filtered
+            return self._filter_patients_plan(predicate)
 
         filtered = self._timed_cluster_phase(timer.add_data_management, dm)
         blocks = [partition.expression for partition in filtered]
@@ -276,25 +315,29 @@ class _DistributedAnalyticsMixin(_MultiNodeEngine):
         )
 
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        sampled = set(int(p) for p in statistics_patient_ids(self.dataset, parameters))
+        # Built once on the driver: the isin predicate caches its sorted key
+        # array, so no node re-sorts the sample.
+        predicate = statistics_patient_predicate(
+            statistics_patient_ids(self.dataset, parameters)
+        )
 
         def dm():
-            filtered = self._filter_patients_local(
-                lambda p: np.isin(p.patient_ids, np.asarray(sorted(sampled)))
-            )
             # Per-node partial sums of the sampled rows (the distributed
-            # "rank genes by expression" step).
-            def local(partition: NodePartition, _node: int):
-                if partition.expression.size == 0:
+            # "rank genes by expression" step), fused into the filter
+            # fragment so each surviving node is dispatched once.
+            def partial(node_id: int, local_rows: np.ndarray):
+                rows = self.partitions[node_id].expression[local_rows]
+                if rows.size == 0:
                     return (np.zeros(self.dataset.n_genes), 0)
-                return (partition.expression.sum(axis=0), partition.expression.shape[0])
+                return (rows.sum(axis=0), rows.shape[0])
 
-            result = self.cluster.map_partitions(filtered, local)
-            return result.outputs
+            return run_cluster_plan(
+                self._patient_filter_plan(predicate), self._patients_table,
+                self.cluster, stats=self.partition_stats, on_fragment=partial,
+            )
 
         partials = self._timed_cluster_phase(timer.add_data_management, dm)
-        totals = np.sum([np.asarray(sums) for sums, _count in partials], axis=0)
-        count = sum(int(c) for _sums, c in partials)
+        totals, count = reduce_partial_sums(partials)
         gene_scores = totals / max(count, 1)
         with timer.analytics():
             result = enrichment_analysis(
@@ -491,11 +534,10 @@ class HadoopClusterEngine(_MultiNodeEngine):
         )
 
     def _run_covariance(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        diseases = [int(d) for d in sorted(parameters.covariance_diseases)]
         tables = self._timed_cluster_phase(
             timer.add_data_management,
             lambda: self._hive_join_per_node(
-                patient_predicate=col("disease_id").isin(diseases)
+                patient_predicate=covariance_patient_predicate(parameters)
             ),
         )
         matrix, _patients, _genes = self._gather_joined(
@@ -539,11 +581,12 @@ class HadoopClusterEngine(_MultiNodeEngine):
         )
 
     def _run_statistics(self, parameters: QueryParameters, timer: PhaseTimer) -> QueryOutput:
-        sampled = [int(p) for p in statistics_patient_ids(self.dataset, parameters)]
         tables = self._timed_cluster_phase(
             timer.add_data_management,
             lambda: self._hive_join_per_node(
-                patient_predicate=col("patient_id").isin(sampled)
+                patient_predicate=statistics_patient_predicate(
+                    statistics_patient_ids(self.dataset, parameters)
+                )
             ),
         )
         matrix, _patients, gene_labels = self._gather_joined(

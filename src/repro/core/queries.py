@@ -75,6 +75,38 @@ def statistics_patient_ids(dataset: GenBaseDataset, parameters: QueryParameters)
 
 
 # --------------------------------------------------------------------------- #
+# Shared patient predicates (one expression, every engine and every node)
+# --------------------------------------------------------------------------- #
+#
+# The Q2/Q3/Q5 patient filters as shared AST expressions.  Single-node
+# engines wrap them in :func:`patient_expression_plan`; the multi-node
+# engines lower ``Filter(Scan("patients"), predicate)`` through
+# :mod:`repro.cluster.bridge`, where the same conjuncts drive partition
+# pruning.  One predicate object therefore runs identically on node 1 of a
+# cluster and on the single-node column store.
+
+def covariance_patient_predicate(parameters: QueryParameters) -> Expression:
+    """Q2 patient filter: disease membership."""
+    return col("disease_id").isin(np.asarray(sorted(parameters.covariance_diseases)))
+
+
+def bicluster_patient_predicate(parameters: QueryParameters) -> Expression:
+    """Q3 patient filter: gender equality and strict age upper bound."""
+    return (col("gender") == parameters.bicluster_gender) & (
+        col("age") < parameters.bicluster_max_age
+    )
+
+
+def statistics_patient_predicate(sampled_patient_ids: np.ndarray) -> Expression:
+    """Q5 patient filter: membership in the (already sorted) sample.
+
+    Build this once per query, not per node — ``isin`` caches its sorted,
+    deduplicated key array, so every node probes the same keys.
+    """
+    return col("patient_id").isin(np.asarray(sampled_patient_ids))
+
+
+# --------------------------------------------------------------------------- #
 # Shared data-management plans (one plan object, every engine)
 # --------------------------------------------------------------------------- #
 #

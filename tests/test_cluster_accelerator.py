@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -53,6 +58,61 @@ class TestPartitioners:
             HashPartitioner(0)
         with pytest.raises(ValueError):
             BlockCyclicPartitioner(2, block_size=0)
+
+    def test_hash_partitioner_string_keys_stable_across_processes(self):
+        """Non-numeric keys must not depend on PYTHONHASHSEED.
+
+        The old fallback used Python's salted ``hash()``: the same keys
+        landed on different nodes from one process to the next.  The
+        stable vectorised hash must produce one assignment under any seed.
+        """
+        script = (
+            "import json, numpy as np\n"
+            "from repro.cluster import HashPartitioner\n"
+            "keys = np.array(['alpha', 'beta', 'gamma', 'delta', '', 'alpha2'])\n"
+            "print(json.dumps(HashPartitioner(4).assign(keys).tolist()))\n"
+        )
+        assignments = []
+        for hash_seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(filter(None, [
+                os.path.join(os.path.dirname(__file__), "..", "src"),
+                env.get("PYTHONPATH", ""),
+            ]))
+            output = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True,
+            ).stdout
+            assignments.append(json.loads(output))
+        assert assignments[0] == assignments[1] == assignments[2]
+        # In-process assignment agrees with the subprocess ones too.
+        keys = np.array(["alpha", "beta", "gamma", "delta", "", "alpha2"])
+        assert HashPartitioner(4).assign(keys).tolist() == assignments[0]
+
+    def test_hash_partitioner_distinct_strings_spread(self):
+        keys = np.array([f"patient-{i}" for i in range(1000)])
+        counts = np.bincount(HashPartitioner(4).assign(keys), minlength=4)
+        assert counts.min() > 150
+
+    def test_range_partitioner_int64_keys_keep_integer_precision(self):
+        """Large int64 keys must partition in integer space.
+
+        Adjacent ids above 2**53 collapse onto one float64; the old
+        quantile path put boundary keys in the wrong partition.
+        """
+        base = 2**53
+        keys = np.array([base, base + 1, base + 2, base + 3], dtype=np.int64)
+        assignment = RangePartitioner(2).assign(keys)
+        np.testing.assert_array_equal(assignment, [0, 0, 1, 1])
+        # And the assignment is by key order, not input order.
+        shuffled = keys[::-1]
+        np.testing.assert_array_equal(RangePartitioner(2).assign(shuffled), [1, 1, 0, 0])
+
+    def test_range_partitioner_float_keys_unchanged(self):
+        keys = np.linspace(0.0, 1.0, 40)
+        assignment = RangePartitioner(4).assign(keys)
+        assert np.all(np.diff(assignment) >= 0)
+        assert assignment[0] == 0 and assignment[-1] == 3
 
 
 class TestNetworkModel:
@@ -133,6 +193,31 @@ class TestCluster:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             Cluster(0)
+
+    def test_invalid_executor(self):
+        with pytest.raises(ValueError):
+            Cluster(2, executor="mpi")
+
+    def test_threaded_and_sequential_executors_agree(self, rng):
+        partitions = [rng.random((200, 8)) for _ in range(4)]
+        threaded = Cluster(4, executor="threads")
+        sequential = Cluster(4, executor="sequential")
+        a = threaded.map_partitions(partitions, lambda part, node: part.sum(axis=0))
+        b = sequential.map_partitions(partitions, lambda part, node: part.sum(axis=0))
+        for left, right in zip(a.outputs, b.outputs):
+            np.testing.assert_array_equal(left, right)
+        # Both record a real wall clock and per-node compute for every node.
+        assert a.wall_seconds > 0 and b.wall_seconds > 0
+        assert len(a.per_node_seconds) == len(b.per_node_seconds) == 4
+
+    def test_threaded_executor_preserves_node_order_and_timings(self, rng):
+        cluster = Cluster(3, executor="threads")
+        result = cluster.run_on_nodes([
+            (lambda node, i=i: (i, np.arange(i + 1).sum())) for i in range(3)
+        ])
+        assert [output[0] for output in result.outputs] == [0, 1, 2]
+        assert all(t.compute_seconds >= 0 for t in cluster.node_timings)
+        assert cluster.simulated_elapsed_seconds >= result.elapsed_seconds
 
 
 class TestScaLAPACK:

@@ -19,7 +19,9 @@ cases) and the MapReduce filter-before-shuffle accounting.
 
 from __future__ import annotations
 
+import json
 import math
+import pathlib
 
 import numpy as np
 import pytest
@@ -31,8 +33,13 @@ from repro.arraydb.bridge import (
     metadata_array,
     run_shared_plan as run_array_plan,
 )
+from repro.cluster import Cluster, PartitionedTable, PartitionStats
+from repro.cluster.bridge import (
+    expression_skips_partition,
+    run_shared_plan as run_cluster_plan,
+)
 from repro.core import QUERY_NAMES, BenchmarkRunner
-from repro.core.engines import make_engine
+from repro.core.engines import MULTI_NODE_ENGINES, make_engine
 from repro.core.queries import (
     expression_pivot_plan,
     gene_expression_plan,
@@ -42,9 +49,15 @@ from repro.core.runner import RunStatus
 from repro.core.spec import default_parameters
 from repro.mapreduce import HiveSession, HiveTable, MapReduceEngine
 from repro.mapreduce.bridge import run_shared_plan as run_mr_plan
-from repro.plan import Filter, Scan, col
+from repro.plan import Aggregate, Filter, Scan, col
 from repro.rlang.bridge import run_shared_plan as run_r_plan
 from repro.rlang.dataframe import DataFrame
+
+#: Pre-migration multi-node summaries (generated on main before the engines
+#: moved onto the cluster bridge) — the byte-identity reference.
+MULTINODE_SNAPSHOT = json.loads(
+    (pathlib.Path(__file__).parent / "data" / "multinode_summaries.json").read_text()
+)
 
 #: One engine per family; columnstore-udf is the comparison base.
 ENGINE_FAMILIES = ("columnstore-udf", "postgres-r", "scidb", "hadoop", "vanilla-r")
@@ -104,23 +117,157 @@ class TestCrossEngineByteIdentity:
                 _assert_summary_equal(engine, query, summary, base[query][1])
 
     def test_migrated_adapters_leave_no_raw_callable_filters(self):
-        """The scidb/hadoop/rlang adapters contain no lambda predicates.
+        """The migrated adapters contain no lambda predicates.
 
         Dataclass ``default_factory`` lambdas are fine; what must be gone
         are the legacy predicate idioms (``lambda v: …`` over attribute
         vectors, ``lambda row: …`` over Hive records, ``lambda f: …``
-        over data frames).
+        over data frames, ``lambda p: …`` over node partitions).
         """
         import inspect
 
-        from repro.core.engines import hadoop, phi, rlang_engine, scidb
+        from repro.core.engines import hadoop, multinode, phi, rlang_engine, scidb
 
-        for module in (scidb, hadoop, rlang_engine, phi):
+        for module in (scidb, hadoop, rlang_engine, phi, multinode):
             source = inspect.getsource(module)
             for idiom in ("lambda v", "lambda row", "lambda f", "lambda p"):
                 assert idiom not in source, (
                     f"{module.__name__} still builds raw callable predicates"
                 )
+
+
+class TestMultiNodeByteIdentity:
+    """The bridge migration changed no answer: every multi-node summary is
+    byte-identical to the snapshot taken on main before the migration."""
+
+    @pytest.mark.parametrize("engine_name", MULTI_NODE_ENGINES)
+    def test_tiny_summaries_match_pre_migration_snapshot(self, engine_name, runner,
+                                                         tiny_dataset):
+        self._assert_snapshot(engine_name, "tiny", tiny_dataset, (1, 2, 4), runner)
+
+    @pytest.mark.parametrize("engine_name", MULTI_NODE_ENGINES)
+    def test_small_summaries_match_pre_migration_snapshot(self, engine_name, runner,
+                                                          small_dataset):
+        self._assert_snapshot(engine_name, "small", small_dataset, (2,), runner)
+
+    @staticmethod
+    def _assert_snapshot(engine_name, size, dataset, node_counts, runner):
+        for n_nodes in node_counts:
+            for query in QUERY_NAMES:
+                result = runner.run(query, engine_name, dataset, n_nodes=n_nodes)
+                key = f"{size}/{engine_name}/{n_nodes}/{query}"
+                expected = MULTINODE_SNAPSHOT[key]
+                if "__status__" in expected:
+                    assert result.status.name == expected["__status__"], key
+                    continue
+                assert result.status is RunStatus.OK, f"{key}: {result.error}"
+                assert result.output.summary == expected, key
+
+
+def _table(columns_per_partition):
+    return PartitionedTable.from_partitions(
+        "patients",
+        [{name: np.asarray(values) for name, values in part.items()}
+         for part in columns_per_partition],
+    )
+
+
+class TestClusterPartitionPruning:
+    """The cluster bridge prunes partitions from synopses, exactly."""
+
+    def test_strictness_at_partition_edge(self):
+        table = _table([{"age": np.arange(0, 10)}, {"age": np.arange(10, 20)}])
+        low, high = table.synopses
+        # Partition 2 spans [10, 19]: `< 10` excludes it, `<= 10` must not.
+        assert expression_skips_partition(col("age") < 10, high)
+        assert not expression_skips_partition(col("age") <= 10, high)
+        # Partition 1 spans [0, 9]: `> 9` excludes it, `>= 9` must not.
+        assert expression_skips_partition(col("age") > 9, low)
+        assert not expression_skips_partition(col("age") >= 9, low)
+
+    def test_filter_prunes_and_matches_plain_evaluation(self):
+        ages = [np.arange(0, 10), np.arange(10, 20), np.arange(20, 30)]
+        table = _table([{"age": a} for a in ages])
+        stats = PartitionStats()
+        cluster = Cluster(3)
+        fragments = run_cluster_plan(
+            Filter(Scan("patients"), col("age") < 10), table, cluster, stats=stats
+        )
+        np.testing.assert_array_equal(fragments[0], np.arange(10))
+        assert all(len(fragment) == 0 for fragment in fragments[1:])
+        assert stats.partitions_skipped == 2
+        assert stats.partitions_scanned == 1
+        assert stats.rows_kept == 10
+
+    def test_membership_skips_via_distinct_set(self):
+        # disease 7 lies inside both partitions' [min, max] spans; only the
+        # distinct-set synopsis can prove the second partition empty.
+        table = _table([
+            {"disease_id": np.array([5, 6, 7, 9])},
+            {"disease_id": np.array([5, 9, 5, 9])},
+        ])
+        predicate = col("disease_id").isin([7])
+        assert not expression_skips_partition(predicate, table.synopses[0])
+        assert expression_skips_partition(predicate, table.synopses[1])
+
+    def test_all_partitions_pruned_returns_correct_empty_result(self):
+        table = _table([{"age": np.arange(0, 10)}, {"age": np.arange(10, 20)}])
+        stats = PartitionStats()
+        fragments = run_cluster_plan(
+            Filter(Scan("patients"), col("age") < -5), table, Cluster(2), stats=stats
+        )
+        assert [len(fragment) for fragment in fragments] == [0, 0]
+        assert stats.partitions_skipped == 2
+        assert stats.partitions_scanned == 0
+        assert stats.rows_kept == 0
+
+    def test_single_node_pruning_is_a_noop(self):
+        table = _table([{"age": np.arange(0, 20)}])
+        stats = PartitionStats()
+        fragments = run_cluster_plan(
+            Filter(Scan("patients"), col("age") < 5), table, Cluster(1), stats=stats
+        )
+        np.testing.assert_array_equal(fragments[0], np.arange(5))
+        assert stats.partitions_skipped == 0
+        assert stats.partitions_scanned == 1
+
+    def test_unoptimized_lowering_matches_optimized(self, rng):
+        ages = rng.integers(0, 100, size=60)
+        genders = rng.integers(0, 2, size=60)
+        parts = np.array_split(np.arange(60), 4)
+        table = _table([
+            {"age": ages[p], "gender": genders[p]} for p in parts
+        ])
+        plan = Filter(Scan("patients"), (col("gender") == 1) & (col("age") < 30))
+        optimized = run_cluster_plan(plan, table, Cluster(4), optimized=True)
+        unoptimized = run_cluster_plan(plan, table, Cluster(4), optimized=False)
+        for a, b in zip(optimized, unoptimized):
+            np.testing.assert_array_equal(a, b)
+
+    def test_aggregate_plan_reduces_partials_on_driver(self):
+        keys = np.array([1, 2, 1, 2, 3, 1])
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        parts = [np.array([0, 1]), np.array([2, 3]), np.array([4, 5])]
+        table = _table([{"k": keys[p], "v": values[p]} for p in parts])
+        merged, means = run_cluster_plan(
+            Aggregate(Scan("patients"), "k", "v", "mean"), table, Cluster(3)
+        )
+        np.testing.assert_array_equal(merged, [1, 2, 3])
+        np.testing.assert_allclose(means, [10.0 / 3, 3.0, 5.0])
+
+    def test_engine_statistics_prunes_partitions(self, tiny_dataset, runner):
+        # 16 partitions of ~4 patients but only 12 sampled ids: at least
+        # four partitions cannot contain any sample and must be pruned.
+        engine = make_engine("pbdr", n_nodes=16)
+        engine.load(tiny_dataset)
+        result = runner.run("statistics", engine, tiny_dataset)
+        assert result.status is RunStatus.OK, result.error
+        assert engine.partition_stats.partitions_skipped >= 4
+        assert engine.partition_stats.partitions_scanned <= 12
+        reference = make_engine("pbdr", n_nodes=1)
+        reference.load(tiny_dataset)
+        baseline = runner.run("statistics", reference, tiny_dataset)
+        assert result.output.summary == baseline.output.summary
 
 
 class TestSciDBChunkSkipping:
