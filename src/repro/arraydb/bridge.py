@@ -72,6 +72,7 @@ from repro.arraydb.operators import (
 )
 from repro.plan import logical
 from repro.plan.expressions import Expression, split_conjuncts
+from repro.plan.observe import PlanObservation
 from repro.plan.optimizer import (
     ColumnStats,
     OptimizerCapabilities,
@@ -272,7 +273,8 @@ def optimize_shared_plan(plan: logical.PlanNode,
 def run_shared_plan(plan: logical.PlanNode,
                     frames: Mapping[str, ArrayFrame | MatrixFrame],
                     optimized: bool = True,
-                    stats: FilterStats | None = None):
+                    stats: FilterStats | None = None,
+                    observation: PlanObservation | None = None):
     """Execute a shared logical plan against the array frames.
 
     Relational-algebra subtrees over the fact array return an
@@ -292,9 +294,13 @@ def run_shared_plan(plan: logical.PlanNode,
             arranges; pass False only for plans already in that shape.
         stats: optional :class:`~repro.arraydb.operators.FilterStats`
             accumulating chunk-skip counters across every filter pass.
+        observation: optional :class:`~repro.plan.observe.PlanObservation`
+            filled with the observed output cardinality.
     """
     if optimized:
         plan = optimize_shared_plan(plan, frames)
+    if observation is not None:
+        observation.engine = "scidb"
     if isinstance(plan, logical.Aggregate):
         selection = _lower(plan.child, frames, stats)
         if not isinstance(selection, _MatrixSelection):
@@ -304,7 +310,10 @@ def run_shared_plan(plan: logical.PlanNode,
             raise KeyError(f"no value column {plan.value!r} in frame {selection.name!r}")
         function = _AGGREGATE_NAMES.get(plan.function, plan.function)
         values = aggregate(result.array, plan.value, function, along=plan.group_by)
-        return result.label(plan.group_by), np.asarray(values, dtype=np.float64)
+        labels = result.label(plan.group_by)
+        if observation is not None:
+            observation.output_rows = int(len(labels))
+        return labels, np.asarray(values, dtype=np.float64)
     if isinstance(plan, logical.Pivot):
         selection = _lower(plan.child, frames, stats)
         if not isinstance(selection, _MatrixSelection):
@@ -320,6 +329,9 @@ def run_shared_plan(plan: logical.PlanNode,
                 f"pivot keys ({plan.row_key!r}, {plan.column_key!r}) do not "
                 f"match array dimensions {dims}"
             )
+        if observation is not None:
+            observation.output_rows = int(dense.shape[0])
+            observation.output_cells = int(dense.size)
         return dense, result.label(plan.row_key), result.label(plan.column_key)
     selection = _lower(plan, frames, stats)
     if isinstance(selection, _MetaSelection):
@@ -327,8 +339,13 @@ def run_shared_plan(plan: logical.PlanNode,
         if coordinates is None:
             start, end = _frame_bounds(selection.frame)
             coordinates = np.arange(start, end + 1, dtype=np.int64)
+        if observation is not None:
+            observation.output_rows = int(len(coordinates))
         return coordinates
-    return _materialise(selection, stats)
+    result = _materialise(selection, stats)
+    if observation is not None:
+        observation.output_rows = int(result.array.cell_count)
+    return result
 
 
 def _lower(node: logical.PlanNode,

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.partitioner import BlockCyclicPartitioner, Partitioner, RangePartitioner
+from repro.cluster.partitioner import Partitioner, RangePartitioner
 from repro.linalg.qr import RegressionResult
 from repro.linalg.lanczos import LanczosResult
 

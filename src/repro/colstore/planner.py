@@ -33,11 +33,12 @@ from repro.colstore.query import ColumnQuery, materialise_join
 from repro.plan import logical
 from repro.plan.expressions import Expression
 from repro.plan.logical import explain
+from repro.plan.observe import PlanObservation
 from repro.plan.optimizer import (
     ColumnStats,
     PlanCatalog,
+    cost_annotator,
     optimize,
-    selectivity_annotator,
 )
 
 
@@ -91,16 +92,19 @@ def optimize_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
 
 def explain_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
                  bindings: Mapping[str, ColumnQuery] | None = None) -> str:
-    """Render a plan; with a store or bindings, filters carry selectivity estimates."""
+    """Render a plan; with a store or bindings, every node carries its
+    estimated output rows and filters their structural class + selectivity
+    (:func:`repro.plan.optimizer.cost_annotator`)."""
     if store is None and bindings is None:
         return explain(plan)
     catalog = ColumnStoreCatalog(store, bindings)
-    return explain(plan, selectivity_annotator(plan, catalog))
+    return explain(plan, cost_annotator(plan, catalog))
 
 
 def run_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
              optimized: bool = True,
-             bindings: Mapping[str, ColumnQuery] | None = None):
+             bindings: Mapping[str, ColumnQuery] | None = None,
+             observation: PlanObservation | None = None):
     """Execute a logical plan against the store and/or scan bindings.
 
     The single entry point behind every fused pipeline: relational-algebra
@@ -118,16 +122,33 @@ def run_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
             execute the plan exactly as written — the equivalence tests
             compare both paths).
         bindings: scan name → base :class:`ColumnQuery` overrides.
+        observation: optional :class:`~repro.plan.observe.PlanObservation`
+            filled with the observed output cardinality (the calibration
+            counterpart of the optimizer's row estimates).
     """
     if optimized:
         plan = optimize_plan(plan, store, bindings)
+    if observation is not None:
+        observation.engine = "colstore"
     if isinstance(plan, logical.Aggregate):
         query = _query_for(plan.child, store, bindings)
-        return query.group_aggregate(plan.group_by, plan.value, plan.function)
+        keys, aggregates = query.group_aggregate(plan.group_by, plan.value, plan.function)
+        if observation is not None:
+            observation.output_rows = int(len(keys))
+        return keys, aggregates
     if isinstance(plan, logical.Pivot):
         query = _query_for(plan.child, store, bindings)
-        return query.pivot(plan.row_key, plan.column_key, plan.value)
-    return _query_for(plan, store, bindings)
+        matrix, row_labels, column_labels = query.pivot(
+            plan.row_key, plan.column_key, plan.value
+        )
+        if observation is not None:
+            observation.output_rows = int(len(row_labels))
+            observation.output_cells = int(matrix.size)
+        return matrix, row_labels, column_labels
+    query = _query_for(plan, store, bindings)
+    if observation is not None:
+        observation.output_rows = int(len(query))
+    return query
 
 
 def _query_for(node: logical.PlanNode, store: ColumnStore | None,

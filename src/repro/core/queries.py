@@ -122,6 +122,43 @@ def statistics_patient_predicate(sampled_patient_ids: np.ndarray) -> Expression:
 EXPRESSION_TRIPLE = ("patient_id", "gene_id", "expression_value")
 
 
+def dataset_tables(dataset: GenBaseDataset) -> dict[str, dict[str, np.ndarray]]:
+    """Name → column → array view of the dataset's relational tables.
+
+    The engine-neutral loading form shared by the cross-engine tests and
+    the differential fuzzer's harness: each engine converts these columns
+    into its native container (compressed column tables, row-store pages,
+    Hive rows, R vectors) without re-deriving the GenBase schemas.  Key
+    and metadata columns are ``int64``; ``drug_response`` and
+    ``expression_value`` stay ``float64``.
+    """
+    micro = dataset.microarray_relational()
+    patients = dataset.patients
+    genes = dataset.genes
+    return {
+        "microarray": {
+            "gene_id": micro[:, 0].astype(np.int64),
+            "patient_id": micro[:, 1].astype(np.int64),
+            "expression_value": micro[:, 2].astype(np.float64),
+        },
+        "patients": {
+            "patient_id": patients.patient_id.astype(np.int64),
+            "age": patients.age.astype(np.int64),
+            "gender": patients.gender.astype(np.int64),
+            "zipcode": patients.zipcode.astype(np.int64),
+            "disease_id": patients.disease_id.astype(np.int64),
+            "drug_response": patients.drug_response.astype(np.float64),
+        },
+        "genes": {
+            "gene_id": genes.gene_id.astype(np.int64),
+            "target": genes.target.astype(np.int64),
+            "position": genes.position.astype(np.int64),
+            "length": genes.length.astype(np.int64),
+            "function": genes.function.astype(np.int64),
+        },
+    }
+
+
 def gene_expression_plan(threshold: int) -> PlanNode:
     """Q1/Q4 data management: ``genes(function < t) ⋈ microarray``.
 

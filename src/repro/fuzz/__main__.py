@@ -1,0 +1,97 @@
+"""The fuzz loop CLI: ``python -m repro.fuzz``.
+
+Runs seed-driven cases through the full differential harness, writes the
+cost-calibration report, and on the first failure dumps a replayable
+failure artifact (the serialised plan plus the failing seed) and exits
+non-zero with the one-line repro command CI surfaces in the job log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+import traceback
+
+from repro.fuzz.calibration import write_report
+from repro.fuzz.generate import case_from_seed
+from repro.fuzz.harness import FuzzHarness
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing of the shared plan layer.",
+    )
+    parser.add_argument("--plans", type=int, default=100,
+                        help="number of fuzzed plans to run (default 100)")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="first case seed (seeds are sequential)")
+    parser.add_argument("--size", default="tiny",
+                        help="GenBase dataset size preset (default tiny)")
+    parser.add_argument("--dataset-seed", type=int, default=7,
+                        help="dataset generation seed (default 7)")
+    parser.add_argument("--report", default="fuzz_calibration.json",
+                        help="calibration report output path")
+    parser.add_argument("--artifact-dir", default="fuzz_artifacts",
+                        help="where failing plans are dumped")
+    parser.add_argument("--skew-selectivity", action="store_true",
+                        help="record predictions with all selectivities "
+                             "forced to 1.0 (for gate trip-wire tests)")
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    harness = FuzzHarness(size=args.size, dataset_seed=args.dataset_seed)
+    records = []
+    checked = 0
+    skipped_empty = 0
+    for seed in range(args.start_seed, args.start_seed + args.plans):
+        case = case_from_seed(seed, harness.schema)
+        try:
+            outcome = harness.check_case(case, skew_selectivity=args.skew_selectivity)
+        except Exception:
+            artifact_dir = pathlib.Path(args.artifact_dir)
+            artifact_dir.mkdir(parents=True, exist_ok=True)
+            artifact = artifact_dir / f"failing_plan_seed_{seed}.json"
+            artifact.write_text(json.dumps({
+                "seed": seed,
+                "size": args.size,
+                "dataset_seed": args.dataset_seed,
+                "case": case.to_json(),
+                "error": traceback.format_exc(),
+            }, indent=2) + "\n")
+            print(traceback.format_exc(), file=sys.stderr)
+            print(f"FAILED at seed {seed}; artifact: {artifact}", file=sys.stderr)
+            print(f"reproduce with: python -m repro.fuzz.repro {seed}",
+                  file=sys.stderr)
+            return 1
+        records.append(outcome.record)
+        checked += len(outcome.engines_checked)
+        skipped_empty += int(outcome.skipped_empty)
+    report = write_report(args.report, records, meta={
+        "plans": args.plans,
+        "start_seed": args.start_seed,
+        "size": args.size,
+        "dataset_seed": args.dataset_seed,
+        "skew_selectivity": args.skew_selectivity,
+        "engine_checks": checked,
+        "skipped_empty": skipped_empty,
+        "elapsed_seconds": round(time.monotonic() - started, 2),
+    })
+    print(f"{args.plans} plans fuzzed, {checked} engine checks, "
+          f"{skipped_empty} empty aggregate/pivot cases skipped, "
+          f"report: {args.report}")
+    for kind, stats in report["summary"].get("rows", {}).items():
+        print(f"  rows[{kind:>10}] n={stats['count']:<4} "
+              f"median_q={stats['median_q']:.2f} p90_q={stats['p90_q']:.2f}")
+    shuffle = report["summary"].get("shuffle_bytes")
+    if shuffle:
+        print(f"  shuffle_bytes  n={shuffle['count']:<4} "
+              f"median_q={shuffle['median_q']:.2f} p90_q={shuffle['p90_q']:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Cost-calibration records: optimizer predictions vs observed counters.
+
+Every fuzzed plan contributes one record pairing the shared optimizer's
+:func:`~repro.plan.optimizer.estimate_output_rows` prediction (and, for
+plans the MapReduce bridge runs, its
+:func:`~repro.mapreduce.bridge.estimate_shuffle_bytes` prediction) with
+the observed cardinalities from the reference trace and the engines'
+:class:`~repro.plan.observe.PlanObservation` hooks.  The annotated EXPLAIN
+(:func:`repro.colstore.planner.explain_plan`, which renders ``~rows=``
+per node) rides along so a miscalibrated record can be read directly.
+
+Accuracy is measured as the **q-error** — ``max(p, o) / min(p, o)`` with
++1 smoothing so empty results stay finite — the standard cardinality-
+estimation metric: symmetric, scale-free, and 1.0 at a perfect prediction.
+``tools/check_cost_calibration.py`` gates the per-predicate-class median
+and p90 of these q-errors.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def q_error(predicted: float, observed: float) -> float:
+    """Symmetric relative error with +1 smoothing (1.0 = perfect)."""
+    p = float(predicted) + 1.0
+    o = float(observed) + 1.0
+    return max(p, o) / min(p, o)
+
+
+@dataclass
+class CalibrationRecord:
+    """One fuzzed plan's predictions next to its observations."""
+
+    seed: int | None
+    shape: str
+    classes: list[str] = field(default_factory=list)
+    predicted_rows: float | None = None
+    observed_rows: int | None = None
+    predicted_shuffle_bytes: float | None = None
+    observed_shuffle_bytes: int | None = None
+    explain: str = ""
+
+    def rows_q_error(self) -> float | None:
+        if self.predicted_rows is None or self.observed_rows is None:
+            return None
+        return q_error(self.predicted_rows, self.observed_rows)
+
+    def shuffle_q_error(self) -> float | None:
+        if (self.predicted_shuffle_bytes is None
+                or self.observed_shuffle_bytes is None):
+            return None
+        return q_error(self.predicted_shuffle_bytes, self.observed_shuffle_bytes)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "shape": self.shape,
+            "classes": list(self.classes),
+            "predicted_rows": self.predicted_rows,
+            "observed_rows": self.observed_rows,
+            "predicted_shuffle_bytes": self.predicted_shuffle_bytes,
+            "observed_shuffle_bytes": self.observed_shuffle_bytes,
+            "explain": self.explain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationRecord":
+        return cls(
+            seed=data.get("seed"),
+            shape=data.get("shape", ""),
+            classes=list(data.get("classes", [])),
+            predicted_rows=data.get("predicted_rows"),
+            observed_rows=data.get("observed_rows"),
+            predicted_shuffle_bytes=data.get("predicted_shuffle_bytes"),
+            observed_shuffle_bytes=data.get("observed_shuffle_bytes"),
+            explain=data.get("explain", ""),
+        )
+
+
+def summarise(records: list[CalibrationRecord]) -> dict:
+    """Per-predicate-class (and shuffle) q-error medians and p90s.
+
+    A record contributes its rows q-error to every class its predicates
+    carry (``none`` when the plan has no filters): a class-specific
+    selectivity bug then surfaces in that class's bucket even when mixed
+    plans dominate the run.
+    """
+    by_class: dict[str, list[float]] = {}
+    shuffle: list[float] = []
+    for record in records:
+        rq = record.rows_q_error()
+        if rq is not None:
+            for kind in (record.classes or ["none"]):
+                by_class.setdefault(kind, []).append(rq)
+        sq = record.shuffle_q_error()
+        if sq is not None:
+            shuffle.append(sq)
+    summary = {
+        "rows": {
+            kind: {
+                "count": len(errors),
+                "median_q": float(np.median(errors)),
+                "p90_q": float(np.percentile(errors, 90)),
+                "max_q": float(np.max(errors)),
+            }
+            for kind, errors in sorted(by_class.items())
+        }
+    }
+    if shuffle:
+        summary["shuffle_bytes"] = {
+            "count": len(shuffle),
+            "median_q": float(np.median(shuffle)),
+            "p90_q": float(np.percentile(shuffle, 90)),
+            "max_q": float(np.max(shuffle)),
+        }
+    return summary
+
+
+def write_report(path: str | pathlib.Path, records: list[CalibrationRecord],
+                 meta: dict | None = None) -> dict:
+    """Write the calibration report JSON and return its parsed content."""
+    report = {
+        "meta": dict(meta or {}),
+        "summary": summarise(records),
+        "records": [record.as_dict() for record in records],
+    }
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def load_report(path: str | pathlib.Path) -> tuple[dict, list[CalibrationRecord]]:
+    """Read a report back as ``(meta, records)``."""
+    data = json.loads(pathlib.Path(path).read_text())
+    records = [CalibrationRecord.from_dict(entry) for entry in data.get("records", [])]
+    return data.get("meta", {}), records

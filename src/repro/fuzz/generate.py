@@ -1,0 +1,251 @@
+"""The fuzz grammar: random-but-valid expressions and plans.
+
+One grammar, two drivers.  Every decision the generator makes goes through
+a tiny :class:`Chooser` interface, so the same code yields
+
+- seed-reproducible cases for the CLI (``RandomChooser`` wraps
+  ``random.Random(seed)`` — ``python -m repro.fuzz.repro <seed>`` replays
+  any case bit for bit), and
+- shrinkable cases for the property tests (:mod:`repro.fuzz.strategies`
+  wraps hypothesis ``draw`` calls, so failures minimise structurally).
+
+The grammar is the *portable* subset of the plan algebra — shapes every
+engine family executes (see ``docs/FUZZING.md`` for the admission table):
+
+- **meta**: ``[Project] Filter* (Scan(meta-table))`` — compared as sorted
+  id sets on all six executors.
+- **aggregate** / **pivot**: the GenBase join spine
+  ``terminal(Project(Filter(Join(meta, microarray)), EXPRESSION_TRIPLE))``
+  with metadata predicates (and, optionally, an ``expression_value`` cell
+  predicate, which excludes the array DBMS — its empty-group labelling
+  legitimately differs).
+- **sample**: ``Sample(Filter*(Scan(meta-table)))`` — column store versus
+  reference only; the engines' documented sampling semantics differ.
+
+Division and ``Opaque`` predicates stay out: division is partial (the row
+store raises on a zero divisor mid-scan) and opaque callables cannot be
+serialised into failure artifacts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.queries import EXPRESSION_TRIPLE
+from repro.fuzz.serialize import plan_from_json, plan_to_json
+from repro.plan import (
+    Aggregate,
+    Expression,
+    Filter,
+    Join,
+    Pivot,
+    PlanNode,
+    Project,
+    Sample,
+    Scan,
+    col,
+)
+
+#: Meta table → its id (join/compare key) column.
+META_KEYS = {"patients": "patient_id", "genes": "gene_id"}
+
+#: Aggregate functions in the portable grammar.
+AGGREGATE_FUNCTIONS = ("count", "sum", "mean", "min", "max")
+
+#: Comparison symbols the grammar draws from.
+_SYMBOLS = ("=", "<>", "<", "<=", ">", ">=")
+
+#: How many distinct observed values to keep per column as literal pool.
+_VALUE_POOL = 24
+
+
+class Chooser:
+    """The decision interface the grammar is written against."""
+
+    def choice(self, options):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def randint(self, low: int, high: int) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def chance(self, probability: float) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class RandomChooser(Chooser):
+    """Seed-reproducible decisions from ``random.Random``."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def choice(self, options):
+        return self.rng.choice(list(options))
+
+    def randint(self, low: int, high: int) -> int:
+        return self.rng.randint(low, high)
+
+    def chance(self, probability: float) -> bool:
+        return self.rng.random() < probability
+
+
+@dataclass
+class ColumnPool:
+    """Observed values of one column, the grammar's literal source."""
+
+    name: str
+    values: list  # up to _VALUE_POOL distinct observed values, sorted
+    is_float: bool
+
+
+@dataclass
+class FuzzSchema:
+    """Per-table literal pools derived from the actual dataset.
+
+    Drawing literals from *observed* values keeps single predicates
+    satisfiable (selectivity neither pinned at 0 nor 1), which is what
+    makes the calibration records informative.
+    """
+
+    tables: dict[str, dict[str, np.ndarray]]
+    pools: dict[str, list[ColumnPool]]
+
+    @classmethod
+    def from_tables(cls, tables: dict[str, dict[str, np.ndarray]]) -> "FuzzSchema":
+        pools: dict[str, list[ColumnPool]] = {}
+        for table, key in META_KEYS.items():
+            pools[table] = []
+            for name, values in tables[table].items():
+                if name == key:
+                    continue
+                distinct = np.unique(values)
+                step = max(1, len(distinct) // _VALUE_POOL)
+                sample = [v.item() for v in distinct[::step][:_VALUE_POOL]]
+                pools[table].append(ColumnPool(
+                    name, sample, is_float=distinct.dtype.kind == "f"
+                ))
+        value = np.unique(tables["microarray"]["expression_value"])
+        step = max(1, len(value) // _VALUE_POOL)
+        pools["microarray"] = [ColumnPool(
+            "expression_value", [v.item() for v in value[::step][:_VALUE_POOL]],
+            is_float=True,
+        )]
+        return cls(tables, pools)
+
+
+@dataclass
+class FuzzCase:
+    """One generated differential test case."""
+
+    shape: str                 # meta | aggregate | pivot | sample
+    plan: PlanNode
+    table: str                 # the meta table the case filters
+    key: str                   # the id column compared for meta/sample shapes
+    has_value_predicate: bool  # excludes the array DBMS when True
+    seed: int | None = None    # set by the seed-driven CLI path
+
+    def to_json(self) -> dict:
+        return {
+            "shape": self.shape,
+            "plan": plan_to_json(self.plan),
+            "table": self.table,
+            "key": self.key,
+            "has_value_predicate": self.has_value_predicate,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FuzzCase":
+        return cls(
+            shape=data["shape"],
+            plan=plan_from_json(data["plan"]),
+            table=data["table"],
+            key=data["key"],
+            has_value_predicate=data["has_value_predicate"],
+            seed=data.get("seed"),
+        )
+
+
+def _leaf(chooser: Chooser, pool: ColumnPool) -> Expression:
+    """One column-vs-literal predicate drawn from the observed values."""
+    column = col(pool.name)
+    if not pool.is_float and chooser.chance(0.3):
+        count = chooser.randint(1, min(4, len(pool.values)))
+        values = sorted({chooser.choice(pool.values) for _ in range(count)})
+        return column.isin(values)
+    symbol = chooser.choice(_SYMBOLS if not pool.is_float else ("<", "<=", ">", ">="))
+    value = chooser.choice(pool.values)
+    if symbol == "=":
+        return column == value
+    if symbol == "<>":
+        return column != value
+    if symbol == "<":
+        return column < value
+    if symbol == "<=":
+        return column <= value
+    if symbol == ">":
+        return column > value
+    return column >= value
+
+
+def _predicate(chooser: Chooser, pools: list[ColumnPool]) -> Expression:
+    """A depth-≤2 predicate: leaf, negation, or a binary and/or."""
+    first = _leaf(chooser, chooser.choice(pools))
+    form = chooser.choice(("leaf", "leaf", "not", "and", "or"))
+    if form == "leaf":
+        return first
+    if form == "not":
+        return ~first
+    second = _leaf(chooser, chooser.choice(pools))
+    return (first & second) if form == "and" else (first | second)
+
+
+def _meta_filters(chooser: Chooser, schema: FuzzSchema, table: str,
+                  node: PlanNode, max_filters: int) -> PlanNode:
+    for _ in range(chooser.randint(0, max_filters)):
+        node = Filter(node, _predicate(chooser, schema.pools[table]))
+    return node
+
+
+def generate_case(chooser: Chooser, schema: FuzzSchema) -> FuzzCase:
+    """Draw one case from the grammar."""
+    shape = chooser.choice(
+        ("meta", "meta", "aggregate", "aggregate", "pivot", "sample")
+    )
+    table = chooser.choice(sorted(META_KEYS))
+    key = META_KEYS[table]
+    if shape == "meta":
+        node = _meta_filters(chooser, schema, table, Scan(table), max_filters=2)
+        if chooser.chance(0.3):
+            other = chooser.choice(schema.pools[table]).name
+            node = Project(node, (key, other))
+        return FuzzCase(shape, node, table, key, has_value_predicate=False)
+    if shape == "sample":
+        node = _meta_filters(chooser, schema, table, Scan(table), max_filters=1)
+        fraction = chooser.randint(1, 18) / 20.0
+        node = Sample(node, fraction, seed=chooser.randint(0, 7))
+        return FuzzCase(shape, node, table, key, has_value_predicate=False)
+    # aggregate / pivot: the GenBase join spine.
+    joined: PlanNode = Join(Scan(table), Scan("microarray"), key, key)
+    for _ in range(chooser.randint(0, 2)):
+        joined = Filter(joined, _predicate(chooser, schema.pools[table]))
+    has_value_predicate = chooser.chance(0.25)
+    if has_value_predicate:
+        joined = Filter(joined, _leaf(chooser, schema.pools["microarray"][0]))
+    child = Project(joined, EXPRESSION_TRIPLE)
+    if shape == "aggregate":
+        group_by = chooser.choice(("patient_id", "gene_id"))
+        function = chooser.choice(AGGREGATE_FUNCTIONS)
+        plan: PlanNode = Aggregate(child, group_by, "expression_value", function)
+    else:
+        plan = Pivot(child, "patient_id", "gene_id", "expression_value")
+    return FuzzCase(shape, plan, table, key, has_value_predicate)
+
+
+def case_from_seed(seed: int, schema: FuzzSchema) -> FuzzCase:
+    """The CLI path: one case, fully determined by one integer seed."""
+    case = generate_case(RandomChooser(seed), schema)
+    case.seed = seed
+    return case

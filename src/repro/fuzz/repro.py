@@ -1,0 +1,66 @@
+"""Replay one fuzz case with full diagnostics: ``python -m repro.fuzz.repro``.
+
+Accepts either a case seed (the integer printed by the fuzz loop on
+failure) or a failure-artifact JSON path (the file CI uploads), rebuilds
+the exact plan, prints its tree and annotated EXPLAIN, and re-runs the
+differential check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.colstore.planner import explain_plan
+from repro.fuzz.generate import FuzzCase, case_from_seed
+from repro.fuzz.harness import FuzzHarness
+from repro.plan.logical import explain
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz.repro",
+        description="Replay one fuzz case (by seed or failure artifact).",
+    )
+    parser.add_argument("case", help="case seed (integer) or artifact JSON path")
+    parser.add_argument("--size", default="tiny",
+                        help="GenBase dataset size preset (default tiny)")
+    parser.add_argument("--dataset-seed", type=int, default=7,
+                        help="dataset generation seed (default 7)")
+    args = parser.parse_args(argv)
+
+    size, dataset_seed = args.size, args.dataset_seed
+    if args.case.lstrip("-").isdigit():
+        harness = FuzzHarness(size=size, dataset_seed=dataset_seed)
+        case = case_from_seed(int(args.case), harness.schema)
+    else:
+        artifact = json.loads(pathlib.Path(args.case).read_text())
+        size = artifact.get("size", size)
+        dataset_seed = artifact.get("dataset_seed", dataset_seed)
+        harness = FuzzHarness(size=size, dataset_seed=dataset_seed)
+        case = FuzzCase.from_json(artifact["case"])
+
+    print(f"seed={case.seed} shape={case.shape} table={case.table} "
+          f"value_predicate={case.has_value_predicate}")
+    print("\nplan:")
+    print(explain(case.plan))
+    print("annotated (column-store estimates):")
+    print(explain_plan(case.plan, harness.store))
+    outcome = harness.check_case(case)
+    print(f"\nPASS — engines checked: {', '.join(outcome.engines_checked) or 'none'}"
+          f"{' (empty aggregate/pivot input: comparisons skipped)' if outcome.skipped_empty else ''}")
+    record = outcome.record
+    print(f"calibration: predicted_rows={record.predicted_rows} "
+          f"observed_rows={record.observed_rows} "
+          f"q={record.rows_q_error() and round(record.rows_q_error(), 2)}")
+    if record.predicted_shuffle_bytes is not None:
+        print(f"             predicted_shuffle_bytes="
+              f"{round(record.predicted_shuffle_bytes)} "
+              f"observed_shuffle_bytes={record.observed_shuffle_bytes}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ sizes beyond the exact-distribution range, which all benchmark sizes are.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import erfc, sqrt
 
 import numpy as np

@@ -44,6 +44,7 @@ reduce-side join treats both inputs symmetrically, matching the paper's
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,10 +53,12 @@ from repro.mapreduce.engine import MapReduceJob
 from repro.mapreduce.hive import HiveSession, HiveTable
 from repro.plan import logical
 from repro.plan.expressions import BoundExpression
+from repro.plan.observe import PlanObservation
 from repro.plan.optimizer import (
     ColumnStats,
     OptimizerCapabilities,
     PlanCatalog,
+    estimate_output_rows,
     optimize,
 )
 
@@ -138,7 +141,8 @@ def optimize_shared_plan(plan: logical.PlanNode,
 
 
 def run_shared_plan(plan: logical.PlanNode, tables: dict[str, HiveTable],
-                    session: HiveSession, optimized: bool = True):
+                    session: HiveSession, optimized: bool = True,
+                    observation: PlanObservation | None = None):
     """Execute a shared logical plan as MapReduce jobs.
 
     Relational-algebra plans return a materialised :class:`HiveTable`;
@@ -156,23 +160,162 @@ def run_shared_plan(plan: logical.PlanNode, tables: dict[str, HiveTable],
         session: the Hive session whose engine runs (and counts) the jobs.
         optimized: run the shared optimizer first (pass False to lower the
             plan exactly as written).
+        observation: optional :class:`~repro.plan.observe.PlanObservation`
+            filled with the observed output cardinality plus the shuffle
+            record/byte counters summed over the jobs this plan ran (the
+            calibration counterpart of :func:`estimate_shuffle_bytes`).
     """
     if optimized:
         plan = optimize_shared_plan(plan, tables)
-    if isinstance(plan, logical.Aggregate):
-        table = _lower(plan.child, tables, session)
-        function = _AGGREGATE_NAMES.get(plan.function, plan.function)
-        result = session.group_by(table, plan.group_by, plan.value, function)
-        keys = np.asarray(result.column_values(plan.group_by))
-        values = np.asarray(
-            result.column_values(f"{function}_{plan.value}"), dtype=np.float64
-        )
-        order = np.argsort(keys, kind="stable")
-        return keys[order], values[order]
-    if isinstance(plan, logical.Pivot):
-        table = _lower(plan.child, tables, session)
-        return driver_pivot(table, plan.row_key, plan.column_key, plan.value)
-    return _lower(plan, tables, session)
+    if observation is not None:
+        observation.engine = "hadoop"
+    jobs_before = len(session.engine.history)
+    try:
+        if isinstance(plan, logical.Aggregate):
+            table = _lower(plan.child, tables, session)
+            function = _AGGREGATE_NAMES.get(plan.function, plan.function)
+            result = session.group_by(table, plan.group_by, plan.value, function)
+            keys = np.asarray(result.column_values(plan.group_by))
+            values = np.asarray(
+                result.column_values(f"{function}_{plan.value}"), dtype=np.float64
+            )
+            order = np.argsort(keys, kind="stable")
+            if observation is not None:
+                observation.output_rows = int(len(keys))
+            return keys[order], values[order]
+        if isinstance(plan, logical.Pivot):
+            table = _lower(plan.child, tables, session)
+            matrix, row_labels, column_labels = driver_pivot(
+                table, plan.row_key, plan.column_key, plan.value
+            )
+            if observation is not None:
+                observation.output_rows = int(len(row_labels))
+                observation.output_cells = int(matrix.size)
+            return matrix, row_labels, column_labels
+        table = _lower(plan, tables, session)
+        if observation is not None:
+            observation.output_rows = int(len(table))
+        return table
+    finally:
+        if observation is not None:
+            ran = session.engine.history[jobs_before:]
+            observation.shuffle_records = sum(
+                result.counters.map_output_records for result in ran
+            )
+            observation.shuffle_bytes = sum(
+                result.counters.shuffle_bytes for result in ran
+            )
+
+
+#: How many base-table rows to serialise when measuring bytes-per-record
+#: for the shuffle-byte estimate.
+_BYTES_SAMPLE = 32
+
+
+def _bytes_per_record(pairs: list) -> float:
+    """Measured serialised size of one shuffled pair, amortising framing.
+
+    The engine spills each partition with ``pickle.dumps(list_of_pairs)``,
+    so the honest per-record figure divides a *batch* pickle by its length
+    rather than pickling records one at a time.
+    """
+    if not pairs:
+        return 0.0
+    return len(pickle.dumps(pairs)) / len(pairs)
+
+
+def _stage_pair_bytes(stage: _ScanStage, key_index: int | None,
+                      tag: str | None) -> float:
+    """Bytes per shuffled pair for a scan stage's mapper output.
+
+    Builds the exact pair shape the mapper emits — ``(key, payload)`` with
+    the payload pruned to the stage's columns (and tagged for join sides) —
+    from the first :data:`_BYTES_SAMPLE` raw rows, *without* evaluating
+    predicates: the estimator prices a representative record, while
+    :func:`repro.plan.optimizer.estimate_output_rows` prices how many
+    survive.
+    """
+    indices = stage.indices()
+    pairs = []
+    for row in stage.table.rows[:_BYTES_SAMPLE]:
+        key = None if key_index is None else row[key_index]
+        payload = tuple(row[i] for i in indices)
+        pairs.append((key, (tag, payload) if tag is not None else payload))
+    return _bytes_per_record(pairs)
+
+
+def estimate_shuffle_bytes(plan: logical.PlanNode,
+                           tables: dict[str, HiveTable],
+                           n_splits: int = 4) -> float | None:
+    """Predict the shuffled bytes for a shared plan's MapReduce jobs.
+
+    Mirrors the lowering in :func:`run_shared_plan` job for job: a fused
+    join shuffles each side's surviving rows (estimated by the shared
+    :func:`~repro.plan.optimizer.estimate_output_rows`) at the measured
+    per-pair pickle cost; a stand-alone scan stage shuffles its surviving
+    projected rows (zero when it is a no-op pass-through); an ``Aggregate``
+    terminal adds one group-by job whose combiner caps the shuffle at
+    ``n_splits × estimated groups`` partial pairs; a ``Pivot`` terminal
+    runs driver-side and shuffles nothing.  Returns ``None`` when the
+    plan's cardinality cannot be estimated.
+    """
+    plan = optimize_shared_plan(plan, tables)
+    catalog = HivePlanCatalog(tables)
+    total = 0.0
+
+    def stage_rows(node: logical.PlanNode) -> float | None:
+        return estimate_output_rows(node, catalog)
+
+    def add_subtree(node: logical.PlanNode) -> bool:
+        nonlocal total
+        stage = _stage(node, tables)
+        if stage is not None:
+            if not stage.predicates and stage.columns == stage.table.columns:
+                return True  # pass-through: no job, no shuffle
+            rows = stage_rows(node)
+            if rows is None:
+                return False
+            total += rows * _stage_pair_bytes(stage, key_index=None, tag=None)
+            return True
+        join = node
+        if isinstance(node, logical.Project) and isinstance(node.child, logical.Join):
+            join = node.child
+        if isinstance(join, logical.Join):
+            for side, key, tag in ((join.left, join.left_key, "L"),
+                                   (join.right, join.right_key, "R")):
+                side_stage = _stage(side, tables)
+                if side_stage is None:
+                    return False  # nested non-stage input: not estimable
+                rows = stage_rows(side)
+                if rows is None:
+                    return False
+                total += rows * _stage_pair_bytes(
+                    side_stage, key_index=side_stage.table.index_of(key), tag=tag
+                )
+            return True
+        return False
+
+    if isinstance(plan, (logical.Aggregate, logical.Pivot)):
+        if not add_subtree(plan.child):
+            return None
+        if isinstance(plan, logical.Aggregate):
+            rows = stage_rows(plan.child)
+            groups = stage_rows(plan)
+            if rows is None or groups is None:
+                return None
+            # The group-by mapper emits one (key, value) pair per input
+            # row, but the combiner folds each split down to one
+            # (key, (sum, count, min, max)) partial per group before the
+            # spill — so the shuffle carries at most splits × groups
+            # partials (and never more than the input rows).
+            pairs = min(rows, n_splits * groups)
+            sample = [(float(i), (float(i), 1, float(i), float(i)))
+                      for i in range(_BYTES_SAMPLE)]
+            total += pairs * _bytes_per_record(sample)
+        return total
+    if not add_subtree(plan):
+        return None
+    return total
 
 
 def _lower(node: logical.PlanNode, tables: dict[str, HiveTable],

@@ -584,6 +584,31 @@ def selectivity_annotator(plan: PlanNode, catalog: PlanCatalog):
     return annotate
 
 
+def cost_annotator(plan: PlanNode, catalog: PlanCatalog):
+    """Build an ``explain`` annotator showing per-node output-row estimates.
+
+    Every node is annotated with ``~rows=N`` from
+    :func:`estimate_output_rows` (filters additionally keep the structural
+    class and selectivity the :func:`selectivity_annotator` shows), so an
+    EXPLAIN rendered with this annotator records the full cardinality
+    prediction chain the cost-calibration gate compares against observed
+    row counts.
+    """
+    selectivity = selectivity_annotator(plan, catalog)
+
+    def annotate(node: PlanNode) -> str:
+        parts = []
+        estimate = estimate_output_rows(node, catalog)
+        if estimate is not None:
+            parts.append(f"~rows={estimate:.0f}")
+        extra = selectivity(node)
+        if extra:
+            parts.append(extra)
+        return " ".join(parts)
+
+    return annotate
+
+
 def _rebuild(node: PlanNode, visit) -> PlanNode:
     """Rebuild a node with ``visit`` applied to each child."""
     if isinstance(node, (Filter, Project, Sample, Aggregate, Pivot)):

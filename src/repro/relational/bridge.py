@@ -36,6 +36,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.plan import logical
+from repro.plan.observe import PlanObservation
 from repro.plan.optimizer import ColumnStats, PlanCatalog, optimize, output_columns
 from repro.relational.catalog import Database
 from repro.relational.query import Query
@@ -114,7 +115,8 @@ def _lower(node: logical.PlanNode, db: Database, catalog: RelationalPlanCatalog)
     )
 
 
-def run_shared_plan(plan: logical.PlanNode, db: Database, optimized: bool = True):
+def run_shared_plan(plan: logical.PlanNode, db: Database, optimized: bool = True,
+                    observation: PlanObservation | None = None):
     """Execute a shared logical plan against the row store.
 
     Relational-algebra plans return a materialised
@@ -129,9 +131,13 @@ def run_shared_plan(plan: logical.PlanNode, db: Database, optimized: bool = True
         db: the row-store database holding the scanned tables.
         optimized: run the shared optimizer first (pass False to lower the
             plan exactly as written — the equivalence tests compare both).
+        observation: optional :class:`~repro.plan.observe.PlanObservation`
+            filled with the observed output cardinality.
     """
     if optimized:
         plan = optimize_shared_plan(plan, db)
+    if observation is not None:
+        observation.engine = "postgres"
     if isinstance(plan, logical.Aggregate):
         function = _AGGREGATE_NAMES.get(plan.function, plan.function)
         value = "*" if plan.function == "count" else plan.value
@@ -143,11 +149,22 @@ def run_shared_plan(plan: logical.PlanNode, db: Database, optimized: bool = True
         )
         keys = np.asarray(result.column(plan.group_by))
         aggregates = np.asarray(result.column("agg"), dtype=np.float64)
+        if observation is not None:
+            observation.output_rows = int(len(keys))
         return keys, aggregates
     if isinstance(plan, logical.Pivot):
         result = lower_shared_plan(plan.child, db).run()
-        return result.pivot(plan.row_key, plan.column_key, plan.value)
-    return lower_shared_plan(plan, db).run()
+        matrix, row_labels, column_labels = result.pivot(
+            plan.row_key, plan.column_key, plan.value
+        )
+        if observation is not None:
+            observation.output_rows = int(len(row_labels))
+            observation.output_cells = int(matrix.size)
+        return matrix, row_labels, column_labels
+    result = lower_shared_plan(plan, db).run()
+    if observation is not None:
+        observation.output_rows = int(len(result))
+    return result
 
 
 def explain_shared_plan(plan: logical.PlanNode, db: Database) -> str:

@@ -46,6 +46,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.plan import logical
+from repro.plan.observe import PlanObservation
 from repro.plan.optimizer import (
     ColumnStats,
     OptimizerCapabilities,
@@ -88,7 +89,8 @@ def optimize_shared_plan(plan: logical.PlanNode,
 
 
 def run_shared_plan(plan: logical.PlanNode, frames: Mapping[str, DataFrame],
-                    optimized: bool = True):
+                    optimized: bool = True,
+                    observation: PlanObservation | None = None):
     """Execute a shared logical plan against in-memory R data frames.
 
     Relational-algebra plans return a :class:`DataFrame`;
@@ -102,16 +104,34 @@ def run_shared_plan(plan: logical.PlanNode, frames: Mapping[str, DataFrame],
         frames: scan name → :class:`DataFrame`.
         optimized: run the shared optimizer first (pass False to lower the
             plan exactly as written — the equivalence tests compare both).
+        observation: optional :class:`~repro.plan.observe.PlanObservation`
+            filled with the observed output cardinality.
     """
     if optimized:
         plan = optimize_shared_plan(plan, frames)
+    if observation is not None:
+        observation.engine = "vanilla-r"
     if isinstance(plan, logical.Aggregate):
         frame = _lower(plan.child, frames)
-        return _group_aggregate(frame, plan.group_by, plan.value, plan.function)
+        keys, aggregates = _group_aggregate(
+            frame, plan.group_by, plan.value, plan.function
+        )
+        if observation is not None:
+            observation.output_rows = int(len(keys))
+        return keys, aggregates
     if isinstance(plan, logical.Pivot):
         frame = _lower(plan.child, frames)
-        return frame.pivot_matrix(plan.row_key, plan.column_key, plan.value)
-    return _lower(plan, frames)
+        matrix, row_labels, column_labels = frame.pivot_matrix(
+            plan.row_key, plan.column_key, plan.value
+        )
+        if observation is not None:
+            observation.output_rows = int(len(row_labels))
+            observation.output_cells = int(matrix.size)
+        return matrix, row_labels, column_labels
+    frame = _lower(plan, frames)
+    if observation is not None:
+        observation.output_rows = int(len(frame))
+    return frame
 
 
 def _lower(node: logical.PlanNode, frames: Mapping[str, DataFrame]) -> DataFrame:

@@ -28,8 +28,7 @@ from repro.core.queries import (
 )
 from repro.core.results import breakdown_series, figure_series, render_speedup_table
 from repro.core.runner import RunStatus
-from repro.core.spec import QueryParameters, default_parameters, validate_query_name
-from repro.datagen import GenBaseDataset
+from repro.core.spec import default_parameters, validate_query_name
 
 
 class TestSpec:

@@ -20,7 +20,6 @@ cases) and the MapReduce filter-before-shuffle accounting.
 from __future__ import annotations
 
 import json
-import math
 import pathlib
 
 import numpy as np
@@ -47,6 +46,7 @@ from repro.core.queries import (
 )
 from repro.core.runner import RunStatus
 from repro.core.spec import default_parameters
+from repro.fuzz.tolerances import summary_tolerance
 from repro.mapreduce import HiveSession, HiveTable, MapReduceEngine
 from repro.mapreduce.bridge import run_shared_plan as run_mr_plan
 from repro.plan import Aggregate, Filter, Scan, col
@@ -61,10 +61,6 @@ MULTINODE_SNAPSHOT = json.loads(
 
 #: One engine per family; columnstore-udf is the comparison base.
 ENGINE_FAMILIES = ("columnstore-udf", "postgres-r", "scidb", "hadoop", "vanilla-r")
-
-#: Summary fields produced by Mahout's naive MapReduce analytics kernels —
-#: the only fields allowed to differ (by ulps) from the LAPACK/BLAS tier.
-MAHOUT_FLOAT_FIELDS = {"max_covariance", "top_singular_value", "r_squared"}
 
 
 @pytest.fixture(scope="module")
@@ -88,15 +84,17 @@ def _all_summaries(dataset, runner):
 def _assert_summary_equal(engine: str, query: str, actual: dict, base: dict):
     assert set(actual) == set(base), f"{engine}/{query}: summary keys differ"
     for key, value in actual.items():
-        expected = base[key]
-        if engine == "hadoop" and key in MAHOUT_FLOAT_FIELDS:
-            # Mahout's kernels reassociate floating-point accumulation; the
-            # inputs are verified identical, the outputs may differ in ulps.
-            assert math.isclose(value, expected, rel_tol=1e-9), (
-                f"{engine}/{query}/{key}: {value} vs {expected}"
-            )
+        # The per-(engine, field) tolerance table is shared with the
+        # differential fuzzer: Mahout's reassociated kernels on hadoop are
+        # ulp-tolerant, everything else is exact (repro.fuzz.tolerances).
+        tolerance = summary_tolerance(engine, key)
+        if isinstance(value, float):
+            ok = tolerance.matches(value, base[key])
         else:
-            assert value == expected, f"{engine}/{query}/{key}: {value} vs {expected}"
+            ok = value == base[key]
+        assert ok, (
+            f"{engine}/{query}/{key} ({tolerance.label}): {value} vs {base[key]}"
+        )
 
 
 class TestCrossEngineByteIdentity:

@@ -13,7 +13,6 @@ import pytest
 from repro.core import QUERY_NAMES, BenchmarkRunner, ReferenceImplementation
 from repro.core.engines import MULTI_NODE_ENGINES, SINGLE_NODE_ENGINES, make_engine
 from repro.core.runner import RunStatus
-from repro.core.spec import default_parameters
 
 #: (engine, query) combinations the paper itself marks as unsupported.
 EXPECTED_UNSUPPORTED = {

@@ -9,7 +9,6 @@ from repro.relational import (
     ColumnType,
     Database,
     HeapTable,
-    Query,
     col,
     lit,
     and_,
@@ -17,7 +16,6 @@ from repro.relational import (
     not_,
     default_madlib_registry,
 )
-from repro.relational.expressions import InList
 from repro.relational.operators import (
     Compute,
     Filter,
@@ -30,7 +28,7 @@ from repro.relational.operators import (
     SeqScan,
     Sort,
 )
-from repro.relational.planner import FilterNode, JoinNode, ScanNode, optimize, explain
+from repro.relational.planner import FilterNode, JoinNode, ScanNode, optimize
 from repro.relational.schema import Column, Schema
 from repro.relational.storage import HeapFile, Page
 from repro.relational.table import table_from_arrays

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Gate the optimizer's cost calibration from a fuzz report.
+
+Reads the calibration report ``python -m repro.fuzz`` writes, recomputes
+the q-error (``max(p+1, o+1) / min(p+1, o+1)``) of every record, buckets
+row-count errors by structural predicate class, and fails when any
+bucket's median or p90 exceeds its limit — i.e. when the selectivity
+model has drifted from what the engines actually observe.  Shuffle-byte
+predictions (the MapReduce bridge estimator) are gated as one bucket.
+
+The limits are deliberately loose: the estimator is a structural model
+with coarse statistics, so q-errors of 2–4 are normal.  What the gate
+catches is *systematic* miscalibration — e.g. a selectivity forced to 1.0
+multiplies every selective plan's q-error by 1/selectivity and blows the
+median immediately (``tests/test_fuzz.py`` proves the trip-wire works).
+
+Usage: python tools/check_cost_calibration.py [--report fuzz_calibration.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.fuzz.calibration import load_report  # noqa: E402
+
+#: Per-bucket (median, p90) q-error limits for row-count predictions.
+#: ``default`` covers predicate classes without an explicit entry.
+ROW_LIMITS: dict[str, tuple[float, float]] = {
+    "default": (8.0, 100.0),
+}
+
+#: (median, p90) q-error limits for shuffle-byte predictions.
+SHUFFLE_LIMITS: tuple[float, float] = (8.0, 32.0)
+
+#: The gate refuses to pass on a trivially small sample.
+MIN_RECORDS = 10
+
+
+def check(report_path: pathlib.Path) -> int:
+    meta, records = load_report(report_path)
+    gradeable = [r for r in records if r.rows_q_error() is not None]
+    print(f"calibration report: {report_path} "
+          f"({len(records)} records, {len(gradeable)} gradeable, meta={meta})")
+    if len(gradeable) < MIN_RECORDS:
+        print(f"FAIL: only {len(gradeable)} gradeable records "
+              f"(need >= {MIN_RECORDS})")
+        return 1
+
+    failures = []
+    by_class: dict[str, list[float]] = {}
+    for record in gradeable:
+        for kind in (record.classes or ["none"]):
+            by_class.setdefault(kind, []).append(record.rows_q_error())
+    for kind, errors in sorted(by_class.items()):
+        median = float(np.median(errors))
+        p90 = float(np.percentile(errors, 90))
+        limit_median, limit_p90 = ROW_LIMITS.get(kind, ROW_LIMITS["default"])
+        status = "ok"
+        if median > limit_median or p90 > limit_p90:
+            status = "FAIL"
+            failures.append(
+                f"rows[{kind}]: median_q={median:.2f} (limit {limit_median}), "
+                f"p90_q={p90:.2f} (limit {limit_p90})"
+            )
+        print(f"  rows[{kind:>10}] n={len(errors):<4} median_q={median:.2f} "
+              f"p90_q={p90:.2f} [{status}]")
+
+    shuffle_errors = [r.shuffle_q_error() for r in records
+                      if r.shuffle_q_error() is not None]
+    if shuffle_errors:
+        median = float(np.median(shuffle_errors))
+        p90 = float(np.percentile(shuffle_errors, 90))
+        limit_median, limit_p90 = SHUFFLE_LIMITS
+        status = "ok"
+        if median > limit_median or p90 > limit_p90:
+            status = "FAIL"
+            failures.append(
+                f"shuffle_bytes: median_q={median:.2f} (limit {limit_median}), "
+                f"p90_q={p90:.2f} (limit {limit_p90})"
+            )
+        print(f"  shuffle_bytes  n={len(shuffle_errors):<4} median_q={median:.2f} "
+              f"p90_q={p90:.2f} [{status}]")
+
+    if failures:
+        print("\nCost calibration gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        worst = max(gradeable, key=lambda r: r.rows_q_error())
+        print(f"\nworst record (seed={worst.seed}, shape={worst.shape}, "
+              f"q={worst.rows_q_error():.1f}):")
+        print(worst.explain)
+        return 1
+    print("\nCost calibration gate passed.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", default="fuzz_calibration.json",
+                        help="calibration report path (from python -m repro.fuzz)")
+    args = parser.parse_args(argv)
+    return check(pathlib.Path(args.report))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
