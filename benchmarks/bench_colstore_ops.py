@@ -219,7 +219,7 @@ def cluster_workload(n: int, n_partitions: int, n_genes: int, seed: int,
     rng = np.random.default_rng(seed)
     bounds = np.linspace(0, n, n_partitions + 1).astype(np.int64)
     partitions, blocks = [], []
-    for low, high in zip(bounds[:-1], bounds[1:]):
+    for low, high in zip(bounds[:-1], bounds[1:], strict=True):
         rows = int(high - low)
         if partition_column == "patient_id":
             partitions.append({"patient_id": np.arange(low, high, dtype=np.int64)})
@@ -504,8 +504,8 @@ def run_sweep(size: str, rounds: int = 3, seed: int = 7) -> dict:
 
     # Load: stats-driven encoding choice vs encode-all-candidates.
     for name, values in columns.items():
-        compressed = _best_of(lambda: best_encoding(values), rounds)
-        baseline = _best_of(lambda: baseline_best_encoding(values), rounds)
+        compressed = _best_of(lambda v=values: best_encoding(v), rounds)
+        baseline = _best_of(lambda v=values: baseline_best_encoding(v), rounds)
         assert best_encoding(values).name == baseline_best_encoding(values).name
         results.append(_entry("load", name, n, compressed, baseline))
 
@@ -600,7 +600,7 @@ def run_sweep(size: str, rounds: int = 3, seed: int = 7) -> dict:
     baseline = best_wall(sequential_cluster)
     threaded_outputs = threaded_cluster.run_on_nodes(dispatch_work).outputs
     sequential_outputs = sequential_cluster.run_on_nodes(dispatch_work).outputs
-    for fast, slow in zip(threaded_outputs, sequential_outputs):
+    for fast, slow in zip(threaded_outputs, sequential_outputs, strict=True):
         np.testing.assert_array_equal(fast, slow)
     results.append(
         _entry("cluster_dispatch", "threads-wall", cluster_rows, compressed, baseline)

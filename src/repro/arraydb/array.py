@@ -52,7 +52,7 @@ class ChunkedArray:
             raise ValueError("need one chunk size per matrix axis")
         dimensions = [
             Dimension(dim_name, 0, max(0, length - 1), chunk)
-            for dim_name, length, chunk in zip(dimension_names, matrix.shape, chunk_sizes)
+            for dim_name, length, chunk in zip(dimension_names, matrix.shape, chunk_sizes, strict=True)
         ]
         schema = ArraySchema(name, dimensions, [Attribute(attribute_name, matrix.dtype)])
         array = cls(schema)
@@ -79,7 +79,7 @@ class ChunkedArray:
     def chunk_slices(self, chunk_coords: tuple[int, ...]) -> tuple[slice, ...]:
         """Return the cell-coordinate slices covered by a chunk."""
         slices = []
-        for dimension, coordinate in zip(self.schema.dimensions, chunk_coords):
+        for dimension, coordinate in zip(self.schema.dimensions, chunk_coords, strict=True):
             low, high = dimension.chunk_bounds(coordinate)
             slices.append(slice(low, high + 1))
         return tuple(slices)
@@ -136,7 +136,7 @@ class ChunkedArray:
         for chunk in self._chunks.values():
             slices = tuple(
                 slice(origin - start, origin - start + extent)
-                for origin, start, extent in zip(chunk.origin, starts, chunk.shape)
+                for origin, start, extent in zip(chunk.origin, starts, chunk.shape, strict=True)
             )
             block = chunk.masked_attribute(attribute, fill=fill)
             dense[slices] = block

@@ -79,6 +79,7 @@ from repro.plan.optimizer import (
     PlanCatalog,
     optimize,
 )
+from repro.plan.verify import maybe_verify_rewrite
 
 #: The optimizer profile the array executor can honour: pushdown moves the
 #: dimension predicates onto the metadata frames (required by the
@@ -206,6 +207,23 @@ class ArrayPlanCatalog(PlanCatalog):
                 )
         return None
 
+    def dtype_of(self, table: str, column: str) -> np.dtype | None:
+        frame = self.frames.get(table)
+        if frame is None:
+            return None
+        if isinstance(frame, ArrayFrame):
+            if column == frame.dimension:
+                return np.dtype(np.int64)
+            array = frame.columns.get(column)
+            if array is None:
+                return None
+            return _attribute_dtype(array)
+        if column == frame.value_column:
+            return _attribute_dtype(frame.array)
+        if any(d.name == column for d in frame.array.schema.dimensions):
+            return np.dtype(np.int64)
+        return None
+
     def row_count_of(self, table: str) -> int | None:
         frame = self.frames.get(table)
         if frame is None:
@@ -213,6 +231,12 @@ class ArrayPlanCatalog(PlanCatalog):
         if isinstance(frame, ArrayFrame):
             return _frame_length(frame)
         return frame.array.cell_count
+
+
+def _attribute_dtype(array: ChunkedArray) -> np.dtype:
+    """The dtype of a chunked array's single logical attribute."""
+    name = array.schema.attribute_names[0]
+    return np.dtype(array.schema.attribute(name).dtype)
 
 
 def _frame_length(frame: ArrayFrame) -> int:
@@ -245,7 +269,9 @@ def _array_value_bounds(array: ChunkedArray) -> tuple[float, float] | None:
 # Lowering
 # --------------------------------------------------------------------------- #
 
-@dataclass
+# eq=False: Expression.__eq__ builds an AST node, so the generated
+# field-wise __eq__ would never return a bool.  Identity semantics.
+@dataclass(eq=False)
 class _MetaSelection:
     """A metadata-frame subtree: the frame plus its stacked predicates."""
 
@@ -254,7 +280,7 @@ class _MetaSelection:
     predicates: list[Expression] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(eq=False)
 class _MatrixSelection:
     """A fact subtree: per-dimension coordinate selections + cell filters."""
 
@@ -296,9 +322,14 @@ def run_shared_plan(plan: logical.PlanNode,
             accumulating chunk-skip counters across every filter pass.
         observation: optional :class:`~repro.plan.observe.PlanObservation`
             filled with the observed output cardinality.
+
+    With the ``REPRO_VERIFY_PLANS`` debug flag set, the optimizer rewrite
+    is checked by the static verifier (:mod:`repro.plan.verify`).
     """
     if optimized:
+        written = plan
         plan = optimize_shared_plan(plan, frames)
+        maybe_verify_rewrite(written, plan, ArrayPlanCatalog(frames))
     if observation is not None:
         observation.engine = "scidb"
     if isinstance(plan, logical.Aggregate):

@@ -101,7 +101,7 @@ class Chunk:
         redimension/cross-join bookkeeping.
         """
         local = np.nonzero(self.mask if self.mask is not None else np.ones(self.shape, bool))
-        return tuple(axis_index + offset for axis_index, offset in zip(local, self.origin))
+        return tuple(axis_index + offset for axis_index, offset in zip(local, self.origin, strict=True))
 
     def copy(self) -> "Chunk":
         return Chunk(

@@ -49,6 +49,7 @@ from repro.plan.expressions import (
 )
 from repro.plan.logical import Aggregate, Filter, PlanNode, Scan
 from repro.plan.optimizer import ColumnStats, ordered_conjuncts
+from repro.plan.verify import maybe_verify_plan
 
 #: Distinct sets beyond this cardinality are dropped from the synopsis —
 #: min/max still prunes, the set test just becomes unavailable (same
@@ -231,7 +232,15 @@ def run_shared_plan(
     With ``optimized=False`` the synopsis pruning is disabled (every
     partition is scanned) — the fragments then reproduce the seed's
     evaluate-everywhere behaviour, which the benchmarks use as baseline.
+    With the ``REPRO_VERIFY_PLANS`` debug flag set, the plan is statically
+    typechecked against the partitions' dtypes before dispatch
+    (:mod:`repro.plan.verify`).
     """
+    if table.partitions:
+        maybe_verify_plan(plan, {
+            table.name: {name: column.dtype
+                         for name, column in table.partitions[0].items()}
+        })
     aggregate, predicates = _parse_plan(plan, table)
     ordered = ordered_conjuncts(predicates, table.global_stats)
     conjuncts = [expression for expression, _class, _selectivity in ordered]

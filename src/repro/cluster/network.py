@@ -77,7 +77,7 @@ class NetworkModel:
         """Collect one payload from each source node at ``destination``."""
         gathered = []
         total = 0.0
-        for payload, source in zip(payloads, sources):
+        for payload, source in zip(payloads, sources, strict=True):
             copy, seconds = self.transfer(payload, source, destination, label=label or "gather")
             gathered.append(copy)
             total += seconds

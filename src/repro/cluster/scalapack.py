@@ -153,7 +153,7 @@ class ScaLAPACK:
             design = np.column_stack([np.ones(x_part.shape[0]), x_part])
             return (design.T @ design, design.T @ y_part.ravel())
 
-        paired = list(zip(features.partitions, target.partitions))
+        paired = list(zip(features.partitions, target.partitions, strict=True))
         result = self.cluster.map_partitions(paired, partial)
         xtx = self._all_reduce_sum([np.asarray(a) for a, _ in result.outputs], "xtx")
         xty = self._all_reduce_sum([np.asarray(b) for _, b in result.outputs], "xty")

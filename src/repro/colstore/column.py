@@ -113,7 +113,7 @@ class ColumnVector:
     def values(self) -> np.ndarray:
         """Decode (and cache) the full column."""
         if self._cache is None:
-            self._cache = self._encoding.decode()
+            self._cache = self._encoding.decode()  # decode-ok: explicit full-materialisation API
         return self._cache
 
     def take(self, indices: np.ndarray) -> np.ndarray:

@@ -172,15 +172,15 @@ class Encoding:
 
     def take(self, indices: np.ndarray) -> np.ndarray:
         """Gather the values at ``indices`` from the encoded form."""
-        return self.decode()[np.asarray(indices)]
+        return self.decode()[np.asarray(indices)]  # decode-ok: base-class gather fallback
 
     def filter_mask(self, predicate) -> np.ndarray:
         """Full-length boolean mask for an element-wise predicate."""
-        return predicate_mask(self.decode(), predicate)
+        return predicate_mask(self.decode(), predicate)  # decode-ok: opaque predicates have no fast path
 
     def isin(self, values: np.ndarray) -> np.ndarray:
         """Full-length boolean membership mask."""
-        return np.isin(self.decode(), values)
+        return np.isin(self.decode(), values)  # decode-ok: base-class membership fallback
 
     def distinct_inverse(
         self, positions: np.ndarray | None = None
@@ -193,7 +193,7 @@ class Encoding:
         dictionary column hands back its stored codes).  Returned arrays may
         alias encoding state — treat them as read-only.
         """
-        values = self.decode() if positions is None else self.take(positions)
+        values = self.decode() if positions is None else self.take(positions)  # decode-ok: generic distinct scan
         return np.unique(values, return_inverse=True)
 
     def distinct_values(self, positions: np.ndarray | None = None) -> np.ndarray:
@@ -616,12 +616,12 @@ class DeltaEncoding(Encoding):
         ``np.unique`` would run."""
         if positions is not None or not self.is_monotone:
             return super().distinct_inverse(positions)
-        return sorted_distinct_inverse(self.decode())
+        return sorted_distinct_inverse(self.decode())  # decode-ok: change-point scan needs the materialised run
 
     def distinct_values(self, positions: np.ndarray | None = None) -> np.ndarray:
         if positions is not None or not self.is_monotone:
             return super().distinct_values(positions)
-        return sorted_distinct(self.decode())
+        return sorted_distinct(self.decode())  # decode-ok: change-point scan needs the materialised run
 
 
 def _dictionary_code_bytes(cardinality: int) -> int:

@@ -40,6 +40,7 @@ from repro.plan.optimizer import (
     cost_annotator,
     optimize,
 )
+from repro.plan.verify import maybe_verify_rewrite
 
 
 class ColumnStoreCatalog(PlanCatalog):
@@ -73,6 +74,15 @@ class ColumnStoreCatalog(PlanCatalog):
             return None
         try:
             return found.column(column).stats()
+        except KeyError:
+            return None
+
+    def dtype_of(self, table: str, column: str):
+        found = self._table_for(table)
+        if found is None:
+            return None
+        try:
+            return found.column(column).dtype
         except KeyError:
             return None
 
@@ -125,9 +135,15 @@ def run_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
         observation: optional :class:`~repro.plan.observe.PlanObservation`
             filled with the observed output cardinality (the calibration
             counterpart of the optimizer's row estimates).
+
+    With the ``REPRO_VERIFY_PLANS`` debug flag set, every optimizer
+    application is checked by the static rewrite-soundness verifier
+    (:func:`repro.plan.verify.verify_rewrite`) before execution.
     """
     if optimized:
+        written = plan
         plan = optimize_plan(plan, store, bindings)
+        maybe_verify_rewrite(written, plan, ColumnStoreCatalog(store, bindings))
     if observation is not None:
         observation.engine = "colstore"
     if isinstance(plan, logical.Aggregate):

@@ -94,4 +94,4 @@ class ColumnTable:
         """Materialise the table (or a projection) as row tuples."""
         names = list(names) if names is not None else self.column_names
         arrays = [self.values(name) for name in names]
-        return list(zip(*[array.tolist() for array in arrays])) if arrays else []
+        return list(zip(*[array.tolist() for array in arrays], strict=True)) if arrays else []

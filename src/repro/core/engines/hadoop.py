@@ -150,7 +150,7 @@ class HadoopEngine(Engine):
             pairs_table = HiveTable(
                 "pairs",
                 ("gene_id", "covariance"),
-                [(int(gene_labels[a]), float(v)) for a, v in zip(gene_a, values)],
+                [(int(gene_labels[a]), float(v)) for a, v in zip(gene_a, values, strict=True)],
             )
             joined_meta = self.hive.join(pairs_table, self.genes, "gene_id", "gene_id") if len(pairs_table) else pairs_table
         return QueryOutput(

@@ -515,7 +515,7 @@ class HadoopClusterEngine(_MultiNodeEngine):
         response_lookup = {
             int(pid): float(dr)
             for partition in self.partitions
-            for pid, dr in zip(partition.patient_ids, partition.drug_response)
+            for pid, dr in zip(partition.patient_ids, partition.drug_response, strict=True)
         }
         response = np.asarray([response_lookup[int(p)] for p in patient_labels])
         with timer.analytics():

@@ -227,7 +227,7 @@ class VanillaREngine(Engine):
             go_gene = self.go_df["gene_id"]
             go_term = self.go_df["go_id"]
             label_positions = {int(label): position for position, label in enumerate(gene_labels)}
-            for gene_id, go_id in zip(go_gene.tolist(), go_term.tolist()):
+            for gene_id, go_id in zip(go_gene.tolist(), go_term.tolist(), strict=True):
                 position = label_positions.get(int(gene_id))
                 if position is not None:
                     membership[position, int(go_id)] = 1

@@ -214,12 +214,12 @@ def render_speedup_table(speedups: dict[str, dict[int, float]]) -> str:
         max(len(h), 6) for h in header[1:]
     ]
     lines = [
-        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)),
         "  ".join("-" * w for w in widths),
     ]
     for query, per_nodes in speedups.items():
         row = [query.ljust(widths[0])]
-        for n, width in zip(node_counts, widths[1:]):
+        for n, width in zip(node_counts, widths[1:], strict=True):
             value = per_nodes.get(n)
             row.append((f"{value:.2f}" if value is not None else "-").ljust(width))
         lines.append("  ".join(row))

@@ -44,7 +44,12 @@ from repro.arraydb.bridge import (
 )
 from repro.arraydb import ChunkedArray
 from repro.colstore.catalog import ColumnStore
-from repro.colstore.planner import ColumnStoreCatalog, explain_plan, run_plan
+from repro.colstore.planner import (
+    ColumnStoreCatalog,
+    explain_plan,
+    optimize_plan,
+    run_plan,
+)
 from repro.core.queries import dataset_tables
 from repro.datagen.dataset import GenBaseDataset
 from repro.fuzz.calibration import CalibrationRecord
@@ -59,6 +64,7 @@ from repro.mapreduce.bridge import (
 from repro.plan import logical
 from repro.plan.observe import PlanObservation
 from repro.plan.optimizer import classify, estimate_output_rows, split_conjuncts
+from repro.plan.verify import verified_schema, verify_rewrite
 from repro.relational.bridge import run_shared_plan as run_pg_plan
 from repro.relational.catalog import ColumnType, Database
 from repro.rlang.bridge import run_shared_plan as run_r_plan
@@ -155,7 +161,16 @@ class FuzzHarness:
                 selectivity to 1.0.  Comparisons still run normally; this
                 exists so the calibration gate's trip-wire can be tested
                 against deliberately miscalibrated records.
+
+        Every generated plan is first statically typechecked against the
+        column store's schemas, and the optimizer rewrite is checked for
+        schema preservation (:mod:`repro.plan.verify`) — unconditionally,
+        not behind ``REPRO_VERIFY_PLANS``: the fuzzer is exactly where a
+        grammar bug or unsound rewrite should be caught.
         """
+        catalog = ColumnStoreCatalog(self.store)
+        verified_schema(case.plan, catalog)
+        verify_rewrite(case.plan, optimize_plan(case.plan, self.store), catalog)
         trace = ReferenceTrace()
         reference = run_reference(case.plan, self.tables, trace)
         outcome = FuzzOutcome(case, self._record(case, trace, skew_selectivity))

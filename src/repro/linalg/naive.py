@@ -94,7 +94,7 @@ def _gaussian_solve(a: list[list[float]], b: list[float]) -> list[float]:
     aug = [list(a[i]) + [b[i]] for i in range(n)]
     for col in range(n):
         # Partial pivoting.
-        pivot_row = max(range(col, n), key=lambda r: abs(aug[r][col]))
+        pivot_row = max(range(col, n), key=lambda r, c=col: abs(aug[r][c]))
         if abs(aug[pivot_row][col]) < 1e-12:
             continue
         aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
@@ -135,7 +135,7 @@ def linear_regression(features, target, fit_intercept: bool = True) -> np.ndarra
     # Normal equations X^T X beta = X^T y with explicit loops.
     xtx = [[0.0] * n_features for _ in range(n_features)]
     xty = [0.0] * n_features
-    for row, y_value in zip(rows, y):
+    for row, y_value in zip(rows, y, strict=True):
         for i in range(n_features):
             r_i = row[i]
             xty[i] += r_i * y_value
@@ -218,7 +218,7 @@ def wilcoxon_rank_sum(first, second) -> float:
         group = j - i + 1
         tie_correction += group ** 3 - group
         i = j + 1
-    rank_sum_first = sum(rank for rank, (_, label) in zip(ranks, combined) if label == 0)
+    rank_sum_first = sum(rank for rank, (_, label) in zip(ranks, combined, strict=True) if label == 0)
     u_statistic = rank_sum_first - n1 * (n1 + 1) / 2.0
     mean_u = n1 * n2 / 2.0
     variance = n1 * n2 / 12.0 * ((n + 1) - tie_correction / (n * (n - 1))) if n > 1 else 0.0

@@ -63,7 +63,7 @@ class EnrichmentResult:
         """Return ``(go_id, p_value, z_score, significant)`` tuples."""
         return [
             (int(g), float(p), float(z), bool(s))
-            for g, p, z, s in zip(self.go_ids, self.p_values, self.z_scores, self.significant)
+            for g, p, z, s in zip(self.go_ids, self.p_values, self.z_scores, self.significant, strict=True)
         ]
 
 

@@ -52,7 +52,7 @@ import numpy as np
 from repro.mapreduce.engine import MapReduceJob
 from repro.mapreduce.hive import HiveSession, HiveTable
 from repro.plan import logical
-from repro.plan.expressions import BoundExpression
+from repro.plan.expressions import BoundExpression, literal_dtype
 from repro.plan.observe import PlanObservation
 from repro.plan.optimizer import (
     ColumnStats,
@@ -61,6 +61,7 @@ from repro.plan.optimizer import (
     estimate_output_rows,
     optimize,
 )
+from repro.plan.verify import maybe_verify_rewrite
 
 #: The optimizer profile the MapReduce executor honours: pushdown and
 #: pruning feed the map-side fusion; reordering and build-side costing are
@@ -88,6 +89,15 @@ class HivePlanCatalog(PlanCatalog):
         if found is None or column not in found.columns:
             return None
         return ColumnStats(row_count=len(found))
+
+    def dtype_of(self, table: str, column: str) -> np.dtype | None:
+        # Hive tables carry untyped row tuples; sample the first row's
+        # value.  Int/float drift across rows is harmless — the verifier
+        # only distinguishes dtype *families* (numeric vs string).
+        found = self.tables.get(table)
+        if found is None or column not in found.columns or not found.rows:
+            return None
+        return literal_dtype(found.rows[0][found.index_of(column)])
 
 
 @dataclass
@@ -164,9 +174,14 @@ def run_shared_plan(plan: logical.PlanNode, tables: dict[str, HiveTable],
             filled with the observed output cardinality plus the shuffle
             record/byte counters summed over the jobs this plan ran (the
             calibration counterpart of :func:`estimate_shuffle_bytes`).
+
+    With the ``REPRO_VERIFY_PLANS`` debug flag set, the optimizer rewrite
+    is checked by the static verifier (:mod:`repro.plan.verify`).
     """
     if optimized:
+        written = plan
         plan = optimize_shared_plan(plan, tables)
+        maybe_verify_rewrite(written, plan, HivePlanCatalog(tables))
     if observation is not None:
         observation.engine = "hadoop"
     jobs_before = len(session.engine.history)
@@ -397,7 +412,7 @@ def _join(node: logical.Join, tables: dict[str, HiveTable],
             f"no column {sorted(missing)[0]!r} in join output {joined_columns}"
         )
     positions = [joined_columns.index(name) for name in output_columns]
-    right_kept = [i for i, name in zip(right_indices, right.columns)
+    right_kept = [i for i, name in zip(right_indices, right.columns, strict=True)
                   if name != node.right_key]
 
     def mapper(tagged_row):

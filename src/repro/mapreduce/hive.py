@@ -109,7 +109,7 @@ class HiveSession:
             )
 
             def mapper(row):
-                record = dict(zip(columns, row))
+                record = dict(zip(columns, row, strict=True))
                 if predicate(record):
                     yield (None, row)
 

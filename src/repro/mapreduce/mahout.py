@@ -118,7 +118,7 @@ class Mahout:
         n_features = features.shape[1] + 1  # plus intercept
         records = [
             (i, ([1.0] + row, float(y)))
-            for i, (row, y) in enumerate(zip(features.tolist(), target.tolist()))
+            for i, (row, y) in enumerate(zip(features.tolist(), target.tolist(), strict=True))
         ]
 
         def mapper(record):
@@ -177,7 +177,7 @@ class Mahout:
                 def mapper(record, current=current):
                     row_index, row = record
                     total = 0.0
-                    for value, v in zip(row, current):
+                    for value, v in zip(row, current, strict=True):
                         total += value * v
                     yield (row_index, total)
 

@@ -24,10 +24,12 @@ from repro.plan.expressions import (
     Literal,
     Not,
     Opaque,
+    StaticTypeError,
     all_columns,
     and_,
     col,
     lit,
+    literal_dtype,
     not_,
     opaque,
     or_,
@@ -54,6 +56,17 @@ from repro.plan.optimizer import (
     optimize,
     ordered_conjuncts,
     selectivity_annotator,
+)
+from repro.plan.verify import (
+    MappingCatalog,
+    PlanVerificationError,
+    RewriteSoundnessError,
+    maybe_verify_plan,
+    maybe_verify_rewrite,
+    verification_enabled,
+    verified_schema,
+    verify_plan,
+    verify_rewrite,
 )
 
 __all__ = [
@@ -92,4 +105,15 @@ __all__ = [
     "optimize",
     "ordered_conjuncts",
     "selectivity_annotator",
+    "StaticTypeError",
+    "literal_dtype",
+    "MappingCatalog",
+    "PlanVerificationError",
+    "RewriteSoundnessError",
+    "maybe_verify_plan",
+    "maybe_verify_rewrite",
+    "verification_enabled",
+    "verified_schema",
+    "verify_plan",
+    "verify_rewrite",
 ]

@@ -35,6 +35,65 @@ from typing import Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 
+class StaticTypeError(TypeError):
+    """Static dtype inference proved an expression or plan invalid.
+
+    ``rule`` names the rejection class (``unknown-column``,
+    ``comparison-type-mismatch``, …) so tests and the verifier's
+    diagnostics can identify *which* invariant failed without parsing the
+    message.  :mod:`repro.plan.verify` wraps these with the plan-node path
+    of the offending subtree.
+    """
+
+    def __init__(self, message: str, rule: str = "general"):
+        super().__init__(message)
+        self.rule = rule
+
+
+#: numpy dtype kinds that take part in arithmetic and ordered comparison.
+_NUMERIC_KINDS = frozenset("biuf")
+
+#: numpy dtype kinds holding text.
+_STRING_KINDS = frozenset("US")
+
+
+def _kind_family(dtype: np.dtype) -> str:
+    """Coarse dtype family: values of different families never compare."""
+    if dtype.kind in _NUMERIC_KINDS:
+        return "numeric"
+    if dtype.kind in _STRING_KINDS:
+        return "string"
+    return f"kind {dtype.kind!r}"
+
+
+def literal_dtype(value) -> np.dtype:
+    """The numpy dtype a literal evaluates to (bools before ints).
+
+    >>> literal_dtype(250)
+    dtype('int64')
+    >>> literal_dtype(0.5).kind
+    'f'
+    >>> literal_dtype("BRCA1").kind
+    'U'
+    """
+    if isinstance(value, np.ndarray):
+        return value.dtype
+    return np.asarray(value).dtype
+
+
+def _require_comparable(left: np.dtype | None, right: np.dtype | None,
+                        symbol: str, context: str) -> None:
+    """Reject cross-family comparisons (``str < int`` can never be meant)."""
+    if left is None or right is None:
+        return
+    if _kind_family(left) != _kind_family(right):
+        raise StaticTypeError(
+            f"cannot compare {left} with {right} in {context} "
+            f"(operator {symbol!r} needs both sides in one type family)",
+            rule="comparison-type-mismatch",
+        )
+
+
 class Expression:
     """Base class for all expressions."""
 
@@ -48,6 +107,22 @@ class Expression:
 
     def columns_referenced(self) -> set[str]:
         """Return the set of column names this expression reads."""
+        raise NotImplementedError
+
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        """Statically infer the dtype this expression evaluates to.
+
+        ``column_dtypes`` maps every in-scope column name to its dtype
+        (``None`` marks a column whose dtype the engine cannot report —
+        checks involving it are skipped, never failed).  Returns the
+        result dtype, or ``None`` when it depends on an unknown input.
+
+        Raises:
+            StaticTypeError: when no assignment of values could make the
+                expression evaluate cleanly — an unknown column, a
+                cross-family comparison (``str < int``), arithmetic on
+                text, or a boolean connective over a non-boolean operand.
+        """
         raise NotImplementedError
 
     # Operator overloads build comparison / arithmetic / boolean trees.
@@ -131,6 +206,15 @@ class ColumnRef(Expression):
     def columns_referenced(self) -> set[str]:
         return {self.name}
 
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        if self.name not in column_dtypes:
+            raise StaticTypeError(
+                f"unknown column {self.name!r} "
+                f"(in scope: {sorted(column_dtypes)})",
+                rule="unknown-column",
+            )
+        return column_dtypes[self.name]
+
     def __repr__(self) -> str:
         return f"col({self.name!r})"
 
@@ -150,6 +234,9 @@ class Literal(Expression):
 
     def columns_referenced(self) -> set[str]:
         return set()
+
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        return literal_dtype(self.value)
 
     def __repr__(self) -> str:
         return f"lit({self.value!r})"
@@ -179,12 +266,36 @@ class Comparison(Expression):
     def columns_referenced(self) -> set[str]:
         return self.left.columns_referenced() | self.right.columns_referenced()
 
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        left = self.left.infer_dtype(column_dtypes)
+        right = self.right.infer_dtype(column_dtypes)
+        _require_comparable(left, right, self.symbol, repr(self))
+        return np.dtype(bool)
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.symbol} {self.right!r})"
 
 
 class Arithmetic(Comparison):
     """Binary arithmetic; shares the comparison plumbing."""
+
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        left = self.left.infer_dtype(column_dtypes)
+        right = self.right.infer_dtype(column_dtypes)
+        for side in (left, right):
+            if side is not None and side.kind not in _NUMERIC_KINDS:
+                raise StaticTypeError(
+                    f"arithmetic {self.symbol!r} on non-numeric dtype {side} "
+                    f"in {self!r} (operands: {left}, {right})",
+                    rule="non-numeric-arithmetic",
+                )
+        if left is None or right is None:
+            return None
+        result = np.result_type(left, right)
+        if self.symbol == "/" and result.kind in "biu":
+            # numpy true division of integers yields float64.
+            return np.dtype(np.float64)
+        return result
 
 
 class BooleanOp(Expression):
@@ -221,6 +332,18 @@ class BooleanOp(Expression):
             result |= operand.columns_referenced()
         return result
 
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        for operand in self.operands:
+            dtype = operand.infer_dtype(column_dtypes)
+            if dtype is not None and dtype.kind != "b":
+                joiner = "AND" if self.conjunction else "OR"
+                raise StaticTypeError(
+                    f"non-boolean operand to {joiner}: {operand!r} has dtype "
+                    f"{dtype} (expected bool)",
+                    rule="non-boolean-connective",
+                )
+        return np.dtype(bool)
+
     def __repr__(self) -> str:
         joiner = " AND " if self.conjunction else " OR "
         return "(" + joiner.join(repr(op) for op in self.operands) + ")"
@@ -241,6 +364,16 @@ class Not(Expression):
 
     def columns_referenced(self) -> set[str]:
         return self.operand.columns_referenced()
+
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        dtype = self.operand.infer_dtype(column_dtypes)
+        if dtype is not None and dtype.kind != "b":
+            raise StaticTypeError(
+                f"non-boolean operand to NOT: {self.operand!r} has dtype "
+                f"{dtype} (expected bool)",
+                rule="non-boolean-connective",
+            )
+        return np.dtype(bool)
 
     def __repr__(self) -> str:
         return f"not_({self.operand!r})"
@@ -293,6 +426,15 @@ class InList(Expression):
     def columns_referenced(self) -> set[str]:
         return self.operand.columns_referenced()
 
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        operand = self.operand.infer_dtype(column_dtypes)
+        keys = self.key_array()
+        # An empty key set carries no dtype information (np.unique([]) is
+        # float64 by construction) — nothing to check against.
+        if len(keys) and operand is not None:
+            _require_comparable(operand, keys.dtype, "IN", repr(self))
+        return np.dtype(bool)
+
     def __repr__(self) -> str:
         return f"{self.operand!r}.isin({self._sorted_values()!r})"
 
@@ -324,6 +466,17 @@ class Opaque(Expression):
 
     def columns_referenced(self) -> set[str]:
         return {self.column}
+
+    def infer_dtype(self, column_dtypes: Mapping[str, np.dtype | None]) -> np.dtype | None:
+        # The callable is a black box; all the verifier can check is that
+        # its input column exists.  Its contract says it returns a mask.
+        if self.column not in column_dtypes:
+            raise StaticTypeError(
+                f"unknown column {self.column!r} "
+                f"(in scope: {sorted(column_dtypes)})",
+                rule="unknown-column",
+            )
+        return np.dtype(bool)
 
     def __repr__(self) -> str:
         return f"opaque({self.column!r})"

@@ -16,7 +16,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.plan.expressions import Expression
+import numpy as np
+
+from repro.plan.expressions import (
+    _NUMERIC_KINDS,
+    _kind_family,
+    Expression,
+    StaticTypeError,
+)
+
+#: A statically inferred relational schema: column name → numpy dtype, in
+#: output order.  ``None`` marks a dtype the engine could not report.
+Schema = dict
+
+#: The aggregate functions every executor implements.
+AGGREGATE_FUNCTIONS = ("count", "sum", "mean", "min", "max")
 
 
 class PlanNode:
@@ -25,12 +39,34 @@ class PlanNode:
     def children(self) -> tuple["PlanNode", ...]:
         return ()
 
+    def output_schema(self, *child_schemas: Schema) -> Schema:
+        """Infer this node's output schema from its children's schemas.
+
+        Purely local typing logic — the full-plan walk (resolving scans
+        against a catalog and attaching node paths to failures) lives in
+        :mod:`repro.plan.verify`.
+
+        Raises:
+            StaticTypeError: when the node can never execute cleanly over
+                the given inputs (missing columns, a non-boolean filter
+                predicate, incompatible join keys, a non-numeric
+                aggregate, …).
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class Scan(PlanNode):
     """Scan of a named base table."""
 
     table: str
+
+    def output_schema(self, *child_schemas: Schema) -> Schema:
+        raise StaticTypeError(
+            f"Scan({self.table!r}) has no intrinsic schema — resolve it "
+            "against a catalog (repro.plan.verify.verified_schema)",
+            rule="unknown-table",
+        )
 
 
 # eq=False: a dataclass-generated __eq__ would delegate to the predicate's
@@ -47,6 +83,17 @@ class Filter(PlanNode):
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
 
+    def output_schema(self, *child_schemas: Schema) -> Schema:
+        (child,) = child_schemas
+        dtype = self.predicate.infer_dtype(child)
+        if dtype is not None and dtype.kind != "b":
+            raise StaticTypeError(
+                f"filter predicate {self.predicate!r} has dtype {dtype} "
+                "(expected bool) — did you mean a comparison?",
+                rule="non-boolean-predicate",
+            )
+        return dict(child)
+
 
 @dataclass(frozen=True)
 class Project(PlanNode):
@@ -57,6 +104,17 @@ class Project(PlanNode):
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
+
+    def output_schema(self, *child_schemas: Schema) -> Schema:
+        (child,) = child_schemas
+        missing = [name for name in self.columns if name not in child]
+        if missing:
+            raise StaticTypeError(
+                f"projection references column(s) {missing} not produced "
+                f"by its input (in scope: {sorted(child)})",
+                rule="projection-of-missing-column",
+            )
+        return {name: child[name] for name in self.columns}
 
 
 @dataclass(frozen=True)
@@ -73,6 +131,15 @@ class Sample(PlanNode):
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
+
+    def output_schema(self, *child_schemas: Schema) -> Schema:
+        (child,) = child_schemas
+        if not 0.0 <= self.fraction <= 1.0:
+            raise StaticTypeError(
+                f"sample fraction {self.fraction!r} outside [0, 1]",
+                rule="invalid-sample-fraction",
+            )
+        return dict(child)
 
 
 @dataclass(frozen=True)
@@ -99,6 +166,33 @@ class Join(PlanNode):
     def children(self) -> tuple[PlanNode, ...]:
         return (self.left, self.right)
 
+    def output_schema(self, *child_schemas: Schema) -> Schema:
+        left, right = child_schemas
+        for key, side, schema in ((self.left_key, "left", left),
+                                  (self.right_key, "right", right)):
+            if key not in schema:
+                raise StaticTypeError(
+                    f"join key {key!r} not in the {side} input "
+                    f"(in scope: {sorted(schema)})",
+                    rule="unknown-join-key",
+                )
+        left_dtype, right_dtype = left[self.left_key], right[self.right_key]
+        if (left_dtype is not None and right_dtype is not None
+                and _kind_family(left_dtype) != _kind_family(right_dtype)):
+            raise StaticTypeError(
+                f"join-key dtype mismatch: left key {self.left_key!r} is "
+                f"{left_dtype} but right key {self.right_key!r} is "
+                f"{right_dtype}",
+                rule="join-key-dtype-mismatch",
+            )
+        result = dict(left)
+        for name, dtype in right.items():
+            if name != self.right_key and name not in result:
+                # A non-key name collision keeps the left column here, the
+                # executors' ambiguous-source fallback renames at run time.
+                result[name] = dtype
+        return result
+
 
 @dataclass(frozen=True)
 class Aggregate(PlanNode):
@@ -112,6 +206,34 @@ class Aggregate(PlanNode):
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
 
+    def output_schema(self, *child_schemas: Schema) -> Schema:
+        (child,) = child_schemas
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise StaticTypeError(
+                f"unknown aggregate function {self.function!r} "
+                f"(supported: {list(AGGREGATE_FUNCTIONS)})",
+                rule="unknown-aggregate-function",
+            )
+        for role, name in (("group key", self.group_by), ("value", self.value)):
+            if name not in child:
+                raise StaticTypeError(
+                    f"aggregate {role} column {name!r} not produced by its "
+                    f"input (in scope: {sorted(child)})",
+                    rule="unknown-column",
+                )
+        value_dtype = child[self.value]
+        if (self.function != "count" and value_dtype is not None
+                and value_dtype.kind not in _NUMERIC_KINDS):
+            raise StaticTypeError(
+                f"aggregate {self.function}({self.value}) over non-numeric "
+                f"dtype {value_dtype} (only 'count' accepts non-numeric "
+                "values)",
+                rule="non-numeric-aggregate",
+            )
+        return {self.group_by: child[self.group_by],
+                f"{self.function}({self.value})": _aggregate_dtype(
+                    self.function, value_dtype)}
+
 
 @dataclass(frozen=True)
 class Pivot(PlanNode):
@@ -124,6 +246,50 @@ class Pivot(PlanNode):
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
+
+    def output_schema(self, *child_schemas: Schema) -> Schema:
+        (child,) = child_schemas
+        for role, name in (("row key", self.row_key),
+                           ("column key", self.column_key),
+                           ("value", self.value)):
+            if name not in child:
+                raise StaticTypeError(
+                    f"pivot {role} column {name!r} not produced by its "
+                    f"input (in scope: {sorted(child)})",
+                    rule="unknown-column",
+                )
+        for role, name in (("row key", self.row_key),
+                           ("column key", self.column_key),
+                           ("value", self.value)):
+            dtype = child[name]
+            if dtype is not None and dtype.kind not in _NUMERIC_KINDS:
+                raise StaticTypeError(
+                    f"pivot {role} column {name!r} has non-numeric dtype "
+                    f"{dtype} (dense pivots need numeric labels and cells)",
+                    rule="non-numeric-pivot",
+                )
+        return {self.row_key: child[self.row_key],
+                self.column_key: child[self.column_key],
+                f"value({self.value})": child[self.value]}
+
+
+def _aggregate_dtype(function: str, value_dtype: np.dtype | None) -> np.dtype | None:
+    """The dtype the shared executors produce for one aggregate kind.
+
+    ``count`` is a cardinality (int64) whatever it counts; ``mean``
+    divides, so it is float64 even over integers; ``sum``/``min``/``max``
+    stay in the value's own dtype family (integer sums accumulate in
+    int64).
+    """
+    if function == "count":
+        return np.dtype(np.int64)
+    if function == "mean":
+        return np.dtype(np.float64)
+    if value_dtype is None:
+        return None
+    if function == "sum" and value_dtype.kind in "biu":
+        return np.dtype(np.int64)
+    return value_dtype
 
 
 def explain(node: PlanNode, annotate=None) -> str:

@@ -116,6 +116,15 @@ class PlanCatalog:
     def stats_of(self, table: str, column: str) -> ColumnStats | None:
         return None
 
+    def dtype_of(self, table: str, column: str) -> np.dtype | None:
+        """Stored numpy dtype of one column (None = engine cannot say).
+
+        Read by the static plan verifier (:mod:`repro.plan.verify`) — an
+        unknown dtype downgrades dtype checks on that column to
+        name-existence checks, it never fails them.
+        """
+        return None
+
     def row_count_of(self, table: str) -> int | None:
         """Base-table cardinality; the default derives it from column stats."""
         names = self.columns_of(table)
@@ -130,7 +139,9 @@ class PlanCatalog:
 # Predicate classification
 # --------------------------------------------------------------------------- #
 
-@dataclass(frozen=True)
+# eq=False: the expression field's overloaded __eq__ builds an AST node,
+# so the generated field-wise __eq__ would never return a bool.
+@dataclass(frozen=True, eq=False)
 class PredicateClass:
     """Structural shape of one predicate, as far as the optimizer can see."""
 

@@ -38,11 +38,21 @@ import numpy as np
 from repro.plan import logical
 from repro.plan.observe import PlanObservation
 from repro.plan.optimizer import ColumnStats, PlanCatalog, optimize, output_columns
+from repro.plan.verify import maybe_verify_rewrite
 from repro.relational.catalog import Database
 from repro.relational.query import Query
+from repro.relational.schema import ColumnType
 
 #: Shared Aggregate function names → relational HashAggregate names.
 _AGGREGATE_NAMES = {"mean": "avg"}
+
+#: Row-store column types → the numpy dtypes their values materialise as.
+_COLUMN_DTYPES = {
+    ColumnType.INT: np.dtype(np.int64),
+    ColumnType.FLOAT: np.dtype(np.float64),
+    ColumnType.STRING: np.dtype(str),
+    ColumnType.BOOL: np.dtype(np.bool_),
+}
 
 
 class RelationalPlanCatalog(PlanCatalog):
@@ -69,6 +79,14 @@ class RelationalPlanCatalog(PlanCatalog):
         if not schema.has_column(column):
             return None
         return ColumnStats(row_count=self.db.table(table).row_count)
+
+    def dtype_of(self, table: str, column: str) -> np.dtype | None:
+        if table not in self.db:
+            return None
+        schema = self.db.table(table).schema
+        if not schema.has_column(column):
+            return None
+        return _COLUMN_DTYPES[schema.type_of(column)]
 
 
 def optimize_shared_plan(plan: logical.PlanNode, db: Database) -> logical.PlanNode:
@@ -133,9 +151,14 @@ def run_shared_plan(plan: logical.PlanNode, db: Database, optimized: bool = True
             plan exactly as written — the equivalence tests compare both).
         observation: optional :class:`~repro.plan.observe.PlanObservation`
             filled with the observed output cardinality.
+
+    With the ``REPRO_VERIFY_PLANS`` debug flag set, the optimizer rewrite
+    is checked by the static verifier (:mod:`repro.plan.verify`).
     """
     if optimized:
+        written = plan
         plan = optimize_shared_plan(plan, db)
+        maybe_verify_rewrite(written, plan, RelationalPlanCatalog(db))
     if observation is not None:
         observation.engine = "postgres"
     if isinstance(plan, logical.Aggregate):

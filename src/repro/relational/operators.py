@@ -227,7 +227,7 @@ class HashAggregate(Operator):
         ]
 
         output_columns = [input_schema.column(name) for name in self.group_by]
-        for function, column, output_name in self.aggregates:
+        for function, _column, output_name in self.aggregates:
             if function == "count":
                 output_columns.append(Column(output_name, ColumnType.INT))
             else:
@@ -237,7 +237,7 @@ class HashAggregate(Operator):
     def __iter__(self) -> Iterator[tuple]:
         groups: dict[tuple, list] = {}
         specs = [(_AGGREGATES[function], value_index)
-                 for (function, _, _), value_index in zip(self.aggregates, self._value_indices)]
+                 for (function, _, _), value_index in zip(self.aggregates, self._value_indices, strict=True)]
         group_indices = self._group_indices
         for row in self.child:
             key = tuple(row[i] for i in group_indices)

@@ -146,7 +146,7 @@ class Schema:
                 f"row has {len(row)} values but schema has {len(self._columns)} columns"
             )
         return tuple(
-            column.type.coerce(value) for column, value in zip(self._columns, row)
+            column.type.coerce(value) for column, value in zip(self._columns, row, strict=True)
         )
 
     # -- derivation ------------------------------------------------------------

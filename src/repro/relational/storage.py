@@ -40,11 +40,11 @@ def _pack_row(row: Sequence, schema: Schema) -> bytes:
     """Serialise one (already coerced) row to bytes."""
     parts = []
     null_bitmap = 0
-    for index, (column, value) in enumerate(zip(schema.columns, row)):
+    for index, (_column, value) in enumerate(zip(schema.columns, row, strict=True)):
         if value is None:
             null_bitmap |= 1 << index
     parts.append(_LENGTH.pack(null_bitmap))
-    for column, value in zip(schema.columns, row):
+    for column, value in zip(schema.columns, row, strict=True):
         if value is None:
             continue
         if column.type is ColumnType.STRING:

@@ -107,6 +107,6 @@ def table_from_arrays(
     schema = Schema([Column(column_name, column_type) for column_name, column_type, _ in columns])
     table = HeapTable(name, schema, page_size=page_size)
     arrays = [values for _, _, values in columns]
-    for row in zip(*arrays):
+    for row in zip(*arrays, strict=True):
         table.insert(row)
     return table

@@ -54,6 +54,7 @@ from repro.plan.optimizer import (
     optimize,
     output_columns,
 )
+from repro.plan.verify import maybe_verify_rewrite
 from repro.rlang.dataframe import DataFrame
 
 #: The optimizer profile the R executor honours: splitting and pushdown
@@ -81,6 +82,12 @@ class RDataFrameCatalog(PlanCatalog):
             return None
         return ColumnStats(row_count=len(frame))
 
+    def dtype_of(self, table: str, column: str) -> np.dtype | None:
+        frame = self.frames.get(table)
+        if frame is None or column not in frame:
+            return None
+        return frame[column].dtype
+
 
 def optimize_shared_plan(plan: logical.PlanNode,
                          frames: Mapping[str, DataFrame]) -> logical.PlanNode:
@@ -106,9 +113,14 @@ def run_shared_plan(plan: logical.PlanNode, frames: Mapping[str, DataFrame],
             plan exactly as written — the equivalence tests compare both).
         observation: optional :class:`~repro.plan.observe.PlanObservation`
             filled with the observed output cardinality.
+
+    With the ``REPRO_VERIFY_PLANS`` debug flag set, the optimizer rewrite
+    is checked by the static verifier (:mod:`repro.plan.verify`).
     """
     if optimized:
+        written = plan
         plan = optimize_shared_plan(plan, frames)
+        maybe_verify_rewrite(written, plan, RDataFrameCatalog(frames))
     if observation is not None:
         observation.engine = "vanilla-r"
     if isinstance(plan, logical.Aggregate):

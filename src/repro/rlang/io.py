@@ -21,7 +21,7 @@ from repro.rlang.dataframe import DataFrame, REnvironment
 def write_csv(frame: DataFrame, destination) -> int:
     """Write a data frame as CSV with a header row; returns rows written."""
     names = frame.names
-    rows = zip(*[frame[name].tolist() for name in names])
+    rows = zip(*[frame[name].tolist() for name in names], strict=True)
     return write_table_csv(rows, names, destination)
 
 
@@ -37,9 +37,9 @@ def read_csv(source, environment: REnvironment | None = None) -> DataFrame:
     if not rows:
         arrays = {name: np.empty(0, dtype=np.float64) for name in columns}
         return DataFrame(arrays, environment=environment)
-    transposed = list(zip(*rows))
+    transposed = list(zip(*rows, strict=True))
     arrays = {}
-    for name, values in zip(columns, transposed):
+    for name, values in zip(columns, transposed, strict=True):
         if all(isinstance(value, float) for value in values):
             arrays[name] = np.asarray(values, dtype=np.float64)
         else:

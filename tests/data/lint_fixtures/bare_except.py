@@ -1,0 +1,16 @@
+# Fixture: bare-except fires on `except:` and spares typed handlers.
+# expect: bare-except
+
+
+def bad(mapping, key):
+    try:
+        return mapping[key]
+    except:  # noqa: E722 — the fixture under test
+        return None
+
+
+def blessed(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        return None

@@ -1,0 +1,33 @@
+# Fixture: a file exercising near-miss shapes of every rule; the linter
+# must report nothing here (no `# expect:` headers).
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Stats:
+    row_count: int
+    distinct: int | None = None
+
+
+def seeded(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10, size=5)
+
+
+def typed_handler(mapping, key):
+    try:
+        return mapping[key]
+    except (KeyError, IndexError):
+        return None
+
+
+def lambda_elsewhere(values):
+    # Lambdas are fine outside predicate methods.
+    return sorted(values, key=lambda pair: pair[1])
+
+
+def decode_outside_fast_path(encoding):
+    # This module is not on the fast-path list; decode() is unrestricted.
+    return encoding.decode()

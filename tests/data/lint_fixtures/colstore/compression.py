@@ -1,0 +1,18 @@
+# Fixture: decode-in-fast-path fires on unblessed decompression in a
+# module whose path matches the colstore fast-path list (this fixture
+# shadows that suffix deliberately), and spares pragma'd fallbacks.
+# expect: decode-in-fast-path
+
+
+def bad_fallback(encoding, predicate):
+    return predicate(encoding.decode())
+
+
+def blessed_fallback(encoding, predicate):
+    values = encoding.decode()  # decode-ok: generic predicate has no fast path
+    return predicate(values)
+
+
+def not_a_decompression(codec, payload):
+    # decode() with arguments is some other API, not the encoding protocol.
+    return codec.decode(payload)

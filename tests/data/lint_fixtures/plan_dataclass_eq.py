@@ -1,0 +1,37 @@
+# Fixture: plan-dataclass-eq fires on dataclasses with Expression-typed
+# fields missing eq=False (including container and string annotations);
+# eq=False declarations and non-Expression fields pass.
+# expect: plan-dataclass-eq
+# expect: plan-dataclass-eq
+from dataclasses import dataclass
+
+
+class Expression:
+    def __eq__(self, other):  # builds an AST node, never a bool
+        return self
+
+
+class BoundExpression:
+    pass
+
+
+@dataclass(frozen=True)
+class BadFilter:
+    predicate: Expression
+
+
+@dataclass
+class BadStage:
+    predicates: "list[Expression]"
+
+
+@dataclass(frozen=True, eq=False)
+class BlessedFilter:
+    predicate: Expression
+
+
+@dataclass(frozen=True)
+class BlessedOtherField:
+    # BoundExpression has ordinary equality; only Expression is the trap.
+    bound: BoundExpression
+    name: str

@@ -1,0 +1,28 @@
+# Fixture: unseeded-rng fires on legacy global np.random calls and on
+# default_rng() without a seed; seeded generators pass.
+# expect: unseeded-rng
+# expect: unseeded-rng
+# expect: unseeded-rng
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_legacy(n):
+    return np.random.rand(n)
+
+
+def bad_unseeded():
+    return np.random.default_rng()
+
+
+def bad_unseeded_bare():
+    return default_rng()
+
+
+def blessed(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=4)
+
+
+def blessed_annotation(rng: np.random.Generator) -> float:
+    return float(rng.random())

@@ -204,7 +204,7 @@ class TestCluster:
         sequential = Cluster(4, executor="sequential")
         a = threaded.map_partitions(partitions, lambda part, node: part.sum(axis=0))
         b = sequential.map_partitions(partitions, lambda part, node: part.sum(axis=0))
-        for left, right in zip(a.outputs, b.outputs):
+        for left, right in zip(a.outputs, b.outputs, strict=True):
             np.testing.assert_array_equal(left, right)
         # Both record a real wall clock and per-node compute for every node.
         assert a.wall_seconds > 0 and b.wall_seconds > 0

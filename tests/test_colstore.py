@@ -209,7 +209,7 @@ class TestMergeJoinPositions:
         left = rng.integers(0, 8, 25).astype(np.int64)
         right = rng.integers(0, 8, 40).astype(np.int64)
         left_positions, right_positions = merge_join_positions(left, right)
-        assert sorted(zip(left_positions.tolist(), right_positions.tolist())) == sorted(
+        assert sorted(zip(left_positions.tolist(), right_positions.tolist(), strict=True)) == sorted(
             self._reference(left, right)
         )
 
@@ -218,7 +218,7 @@ class TestMergeJoinPositions:
         right = rng.choice(np.array([0.5, 1.5, 9.5]), 30)
         left_positions, right_positions = merge_join_positions(left, right)
         np.testing.assert_array_equal(left[left_positions], right[right_positions])
-        assert sorted(zip(left_positions.tolist(), right_positions.tolist())) == sorted(
+        assert sorted(zip(left_positions.tolist(), right_positions.tolist(), strict=True)) == sorted(
             self._reference(left, right)
         )
 

@@ -239,7 +239,7 @@ class TestClusterPartitionPruning:
         plan = Filter(Scan("patients"), (col("gender") == 1) & (col("age") < 30))
         optimized = run_cluster_plan(plan, table, Cluster(4), optimized=True)
         unoptimized = run_cluster_plan(plan, table, Cluster(4), optimized=False)
-        for a, b in zip(optimized, unoptimized):
+        for a, b in zip(optimized, unoptimized, strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_aggregate_plan_reduces_partials_on_driver(self):
@@ -450,7 +450,7 @@ class TestMapReduceFilterBeforeShuffle:
         )
         optimized = run_mr_plan(plan, tables, session, optimized=True)
         unoptimized = run_mr_plan(plan, tables, session, optimized=False)
-        for a, b in zip(optimized, unoptimized):
+        for a, b in zip(optimized, unoptimized, strict=True):
             np.testing.assert_array_equal(a, b)
 
 
@@ -479,7 +479,7 @@ class TestRLangBridge:
         )
         optimized = run_r_plan(plan, frames, optimized=True)
         unoptimized = run_r_plan(plan, frames, optimized=False)
-        for a, b in zip(optimized, unoptimized):
+        for a, b in zip(optimized, unoptimized, strict=True):
             np.testing.assert_array_equal(a, b)
         mask = (tiny_dataset.patients.gender == 1) & (tiny_dataset.patients.age < 50)
         np.testing.assert_array_equal(optimized[1], np.flatnonzero(mask))

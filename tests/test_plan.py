@@ -63,7 +63,7 @@ class TestExpressions:
         }
         vectorised = np.asarray(expression.evaluate(batch), dtype=bool)
         bound = expression.bind(_Schema())
-        rows = list(zip(batch["a"].tolist(), batch["b"].tolist()))
+        rows = list(zip(batch["a"].tolist(), batch["b"].tolist(), strict=True))
         np.testing.assert_array_equal(vectorised, [bool(bound(row)) for row in rows])
 
     def test_split_conjuncts_flattens_nesting(self):
@@ -393,7 +393,7 @@ class TestGenBasePlans:
     def test_optimized_pivot_plans_match_unoptimized(self, genbase_store, build):
         fast = run_plan(build(), genbase_store, optimized=True)
         slow = run_plan(build(), genbase_store, optimized=False)
-        for fast_part, slow_part in zip(fast, slow):
+        for fast_part, slow_part in zip(fast, slow, strict=True):
             np.testing.assert_array_equal(fast_part, slow_part)
 
     def test_optimized_aggregate_matches_unoptimized_and_query(self, genbase_store):
@@ -500,7 +500,7 @@ class TestJoinBuildSideRule:
         right = np.array([2, 2, 3, 5, 1], dtype=np.int64)
         for build in ("auto", "left", "right"):
             left_pos, right_pos = merge_join_positions(left, right, build=build)
-            pairs = sorted(zip(left_pos.tolist(), right_pos.tolist()))
+            pairs = sorted(zip(left_pos.tolist(), right_pos.tolist(), strict=True))
             assert pairs == [(0, 4), (1, 0), (1, 1), (2, 0), (2, 1), (3, 2)]
         with pytest.raises(ValueError):
             merge_join_positions(left, right, build="sideways")
@@ -1119,5 +1119,5 @@ class TestFusedEquivalenceProperties:
                 )
             fast_pivot = fused.pivot("k", "rv", "rv")
             slow_pivot = eager.pivot("k", "rv", "rv")
-            for fast_part, slow_part in zip(fast_pivot, slow_pivot):
+            for fast_part, slow_part in zip(fast_pivot, slow_pivot, strict=True):
                 np.testing.assert_array_equal(fast_part, slow_part)

@@ -335,7 +335,7 @@ class TestAggregationPushdownProperties:
                 np.testing.assert_array_equal(fast[1], slow[1])
             fast_pivot = left.pivot("g", "c", "v")
             slow_pivot = right.pivot("g", "c", "v")
-            for fast_part, slow_part in zip(fast_pivot, slow_pivot):
+            for fast_part, slow_part in zip(fast_pivot, slow_pivot, strict=True):
                 np.testing.assert_array_equal(fast_part, slow_part)
 
 
@@ -444,7 +444,7 @@ class TestStorageProperties:
             heap.insert(schema.coerce_row(row))
         restored = list(heap.scan())
         assert len(restored) == len(rows)
-        for (id_value, float_value, text), row in zip(rows, restored):
+        for (id_value, float_value, text), row in zip(rows, restored, strict=True):
             assert row[0] == id_value
             assert row[1] == pytest.approx(float_value, nan_ok=True)
             assert row[2] == text

@@ -1,0 +1,468 @@
+#!/usr/bin/env python
+"""Repo-specific invariant linter: rules generic linters cannot express.
+
+Every rule encodes a correctness invariant the codebase has adopted and
+documented (``docs/STATIC_ANALYSIS.md``); each fires with a file:line and
+the rule's name so CI summaries can count hits per rule.
+
+========================  =====================================================
+rule                      invariant
+========================  =====================================================
+raw-lambda-predicate      Predicates are declarative expressions
+                          (``repro.plan.col``), never raw lambdas handed to
+                          ``where``/``subset``/``select`` — lambdas are opaque
+                          to the optimizer and to every engine's fast path.
+                          The deprecated callable shims (which issue a
+                          ``DeprecationWarning``) are the one blessed escape.
+decode-in-fast-path       The column store's encoding fast paths must not
+                          silently fall back to full decompression: any
+                          ``.decode()`` / ``.to_dense()`` call in a fast-path
+                          module needs an explicit ``# decode-ok: <reason>``
+                          pragma on the same line.
+unseeded-rng              All randomness is reproducible: no legacy global
+                          ``np.random.*`` calls, and ``default_rng()`` must be
+                          given a seed.
+fragment-state-mutation   Per-node worker closures (``on_fragment``
+                          consumers, ``work`` closures run by
+                          ``run_on_nodes``) are pure: no ``nonlocal`` /
+                          ``global`` rebinding, no ``self.attr`` mutation —
+                          the threaded executor would race.
+bare-except               No bare ``except:`` — it swallows KeyboardInterrupt
+                          and SystemExit.
+plan-dataclass-eq         ``Expression.__eq__`` is overloaded to *build* a
+                          comparison AST node, so a dataclass with an
+                          ``Expression``-typed field must declare ``eq=False``
+                          or its generated ``__eq__`` silently returns a
+                          truthy AST node for any operand.
+========================  =====================================================
+
+Usage::
+
+    python tools/lint_invariants.py [paths ...]      # default: src benchmarks tools
+    python tools/lint_invariants.py --self-test      # prove every rule fires
+    python tools/lint_invariants.py --summary out.md # append a rule-hit table
+
+Exit status 0 when clean, 1 on violations (or a failed self-test).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default lint targets, relative to the repo root.
+DEFAULT_PATHS = ("src", "benchmarks", "tools")
+
+#: Directories whose contents are deliberate rule triggers, never linted
+#: by default (the self-test runs the rules on them directly).
+FIXTURE_DIR = REPO_ROOT / "tests" / "data" / "lint_fixtures"
+
+#: Methods that accept predicates: a raw lambda handed to any of these is
+#: invisible to the optimizer (rule ``raw-lambda-predicate``).
+PREDICATE_METHODS = frozenset({"where", "subset", "select"})
+
+#: Module suffixes forming the column store's encoding fast path — the
+#: modules where a stray ``decode()`` defeats the architecture's point.
+FAST_PATH_SUFFIXES = (
+    "colstore/compression.py",
+    "colstore/column.py",
+    "colstore/query.py",
+    "colstore/planner.py",
+)
+
+#: The pragma blessing a deliberate decompression fallback.
+DECODE_PRAGMA = "# decode-ok:"
+
+#: Parameter/keyword names marking a callable as per-node worker code.
+WORKER_KEYWORDS = frozenset({"on_fragment"})
+
+#: Nested function names conventionally dispatched to cluster nodes.
+WORKER_NAMES = frozenset({"work"})
+
+ALL_RULES = (
+    "raw-lambda-predicate",
+    "decode-in-fast-path",
+    "unseeded-rng",
+    "fragment-state-mutation",
+    "bare-except",
+    "plan-dataclass-eq",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit: where, which rule, and a human-readable reason."""
+
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        try:
+            shown = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = self.path
+        return f"{shown}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------- #
+# Rule helpers
+# --------------------------------------------------------------------------- #
+
+def _warns_deprecation(node: ast.AST) -> bool:
+    """Does this function body issue a DeprecationWarning (a blessed shim)?"""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Call):
+            names = {a.id for a in ast.walk(inner) if isinstance(a, ast.Name)}
+            names |= {a.attr for a in ast.walk(inner) if isinstance(a, ast.Attribute)}
+            if "warn" in names and "DeprecationWarning" in names:
+                return True
+    return False
+
+
+def _annotation_names(annotation: ast.AST | None) -> set[str]:
+    """Every bare identifier mentioned in an annotation expression."""
+    if annotation is None:
+        return set()
+    names: set[str] = set()
+    for inner in ast.walk(annotation):
+        if isinstance(inner, ast.Name):
+            names.add(inner.id)
+        elif isinstance(inner, ast.Constant) and isinstance(inner.value, str):
+            # String annotations ("Expression") — parse and recurse.
+            try:
+                parsed = ast.parse(inner.value, mode="eval")
+            except SyntaxError:
+                continue
+            names |= _annotation_names(parsed.body)
+    return names
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return decorator
+    return None
+
+
+def _declares_eq_false(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "eq" and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is False
+    return False
+
+
+def _is_np_random_attribute(func: ast.AST) -> str | None:
+    """``np.random.X`` / ``numpy.random.X`` → ``X``; else None."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if (isinstance(value, ast.Attribute) and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in {"np", "numpy"}):
+        return func.attr
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# The checker
+# --------------------------------------------------------------------------- #
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: Path, source_lines: list[str]):
+        self.path = path
+        self.lines = source_lines
+        self.violations: list[Violation] = []
+        self.is_fast_path = str(path).replace("\\", "/").endswith(FAST_PATH_SUFFIXES)
+        self._shim_depth = 0       # > 0 inside a blessed DeprecationWarning shim
+        self._worker_depth = 0     # > 0 inside a per-node worker closure
+        self._worker_names: set[str] = set()
+
+    def _hit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            Violation(self.path, getattr(node, "lineno", 0), rule, message)
+        )
+
+    def check(self, tree: ast.Module) -> list[Violation]:
+        # Pass 1: names bound to on_fragment= anywhere in the module are
+        # workers wherever they are defined.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if (keyword.arg in WORKER_KEYWORDS
+                            and isinstance(keyword.value, ast.Name)):
+                        self._worker_names.add(keyword.value.id)
+        self.visit(tree)
+        return self.violations
+
+    # -- function scopes -----------------------------------------------------
+
+    def _visit_function(self, node) -> None:
+        is_shim = _warns_deprecation(node)
+        is_worker = (node.name in WORKER_NAMES
+                     or node.name in self._worker_names)
+        self._shim_depth += is_shim
+        self._worker_depth += is_worker
+        self.generic_visit(node)
+        self._shim_depth -= is_shim
+        self._worker_depth -= is_worker
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- rules ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # raw-lambda-predicate
+        if (isinstance(func, ast.Attribute) and func.attr in PREDICATE_METHODS
+                and self._shim_depth == 0):
+            for argument in [*node.args, *(k.value for k in node.keywords)]:
+                if isinstance(argument, ast.Lambda):
+                    self._hit(
+                        node, "raw-lambda-predicate",
+                        f"raw lambda passed to .{func.attr}(); build a "
+                        "declarative expression with repro.plan.col instead",
+                    )
+        # decode-in-fast-path
+        if (self.is_fast_path and isinstance(func, ast.Attribute)
+                and func.attr in {"decode", "to_dense"} and not node.args):
+            line = self.lines[node.lineno - 1] if node.lineno <= len(self.lines) else ""
+            if DECODE_PRAGMA not in line:
+                self._hit(
+                    node, "decode-in-fast-path",
+                    f".{func.attr}() decompresses the whole column in an "
+                    f"encoding fast-path module; bless deliberate fallbacks "
+                    f"with '{DECODE_PRAGMA} <reason>'",
+                )
+        # unseeded-rng
+        legacy = _is_np_random_attribute(func)
+        if legacy is not None and legacy not in {"default_rng", "Generator"}:
+            self._hit(
+                node, "unseeded-rng",
+                f"legacy global np.random.{legacy}() is unseeded state; use "
+                "np.random.default_rng(seed)",
+            )
+        if ((legacy == "default_rng"
+             or (isinstance(func, ast.Name) and func.id == "default_rng"))
+                and not node.args and not node.keywords):
+            self._hit(
+                node, "unseeded-rng",
+                "default_rng() without a seed is irreproducible; pass an "
+                "explicit seed",
+            )
+        self.generic_visit(node)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        if self._worker_depth:
+            self._hit(
+                node, "fragment-state-mutation",
+                f"nonlocal {', '.join(node.names)} inside a per-node worker "
+                "— rebinding driver state from worker threads races; return "
+                "the value instead",
+            )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._worker_depth:
+            self._hit(
+                node, "fragment-state-mutation",
+                f"global {', '.join(node.names)} inside a per-node worker — "
+                "mutating module state from worker threads races",
+            )
+
+    def _check_worker_target(self, target: ast.AST, node: ast.AST) -> None:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            self._hit(
+                node, "fragment-state-mutation",
+                f"assignment to self.{target.attr} inside a per-node worker "
+                "— mutating shared driver state from worker threads races",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._worker_depth:
+            for target in node.targets:
+                self._check_worker_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._worker_depth:
+            self._check_worker_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._hit(
+                node, "bare-except",
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; catch "
+                "Exception (or narrower)",
+            )
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        decorator = _dataclass_decorator(node)
+        if decorator is not None and not _declares_eq_false(decorator):
+            for statement in node.body:
+                if (isinstance(statement, ast.AnnAssign)
+                        and "Expression" in _annotation_names(statement.annotation)):
+                    field = (statement.target.id
+                             if isinstance(statement.target, ast.Name) else "?")
+                    self._hit(
+                        node, "plan-dataclass-eq",
+                        f"dataclass {node.name} has Expression-typed field "
+                        f"{field!r} but no eq=False — the generated __eq__ "
+                        "would delegate to Expression.__eq__, which builds a "
+                        "(truthy) AST node instead of comparing",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+
+def lint_file(path: Path) -> list[Violation]:
+    """Run every rule over one Python source file."""
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [Violation(path, error.lineno or 0, "syntax-error", str(error.msg))]
+    return _Checker(path, source.splitlines()).check(tree)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if FIXTURE_DIR not in p.parents
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: list[Path]) -> tuple[list[Violation], int]:
+    violations: list[Violation] = []
+    files = iter_python_files(paths)
+    for file in files:
+        violations.extend(lint_file(file))
+    return violations, len(files)
+
+
+def rule_counts(violations: list[Violation]) -> dict[str, int]:
+    counts = {rule: 0 for rule in ALL_RULES}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    return counts
+
+
+def write_summary(path: Path, violations: list[Violation], n_files: int) -> None:
+    """Append a markdown rule-hit table (the CI job summary)."""
+    lines = [
+        "## Invariant linter",
+        "",
+        f"{n_files} files checked, {len(violations)} violation(s).",
+        "",
+        "| rule | hits |",
+        "| --- | ---: |",
+    ]
+    for rule, count in rule_counts(violations).items():
+        lines.append(f"| `{rule}` | {count} |")
+    lines.append("")
+    with path.open("a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+# --------------------------------------------------------------------------- #
+# Self-test: prove every rule fires on its fixture and spares the blessed form
+# --------------------------------------------------------------------------- #
+
+def run_self_test() -> int:
+    """Each fixture file declares its expected hits in a header comment."""
+    failures: list[str] = []
+    fixtures = sorted(FIXTURE_DIR.rglob("*.py"))
+    if not fixtures:
+        print(f"self-test: no fixtures under {FIXTURE_DIR}", file=sys.stderr)
+        return 1
+    covered: set[str] = set()
+    for fixture in fixtures:
+        expected = _expected_rules(fixture)
+        got = [v.rule for v in lint_file(fixture)]
+        covered.update(got)
+        if sorted(got) != sorted(expected):
+            failures.append(
+                f"{fixture.name}: expected rules {sorted(expected)}, "
+                f"linter fired {sorted(got)}"
+            )
+    missing = set(ALL_RULES) - covered
+    if missing:
+        failures.append(f"no fixture exercises rule(s): {sorted(missing)}")
+    for failure in failures:
+        print(f"self-test FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"self-test OK: {len(fixtures)} fixtures, "
+              f"all {len(ALL_RULES)} rules fire and blessed forms pass")
+    return 1 if failures else 0
+
+
+def _expected_rules(fixture: Path) -> list[str]:
+    """Parse ``# expect: rule, rule`` headers (one per expected hit)."""
+    expected: list[str] = []
+    for line in fixture.read_text().splitlines():
+        if line.startswith("# expect:"):
+            expected.extend(
+                name.strip() for name in line[len("# expect:"):].split(",")
+                if name.strip()
+            )
+    return expected
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to lint (default: %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run every rule against its fixtures and exit")
+    parser.add_argument("--summary", type=Path, default=None,
+                        help="append a markdown rule-hit table to this file")
+    options = parser.parse_args(argv)
+
+    if options.self_test:
+        return run_self_test()
+
+    paths = [REPO_ROOT / p if not Path(p).is_absolute() else Path(p)
+             for p in options.paths]
+    violations, n_files = lint_paths(paths)
+    for violation in violations:
+        print(violation.render())
+    if options.summary is not None:
+        write_summary(options.summary, violations, n_files)
+    if violations:
+        print(f"\n{len(violations)} violation(s) in {n_files} files",
+              file=sys.stderr)
+        return 1
+    print(f"{n_files} files clean ({len(ALL_RULES)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
