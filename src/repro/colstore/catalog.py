@@ -16,6 +16,19 @@ class ColumnStore:
     def __init__(self, name: str = "genbase"):
         self.name = name
         self._tables: dict[str, ColumnTable] = {}
+        self._synopses: "SynopsisCatalog | None" = None
+
+    @property
+    def synopses(self) -> "SynopsisCatalog":
+        """The store's sample-synopsis catalog (built lazily, cached).
+
+        Uniform and stratified synopses built here are narrowed selections
+        shared across queries — see :mod:`repro.colstore.synopsis`.
+        """
+        if self._synopses is None:
+            from repro.colstore.synopsis import SynopsisCatalog
+            self._synopses = SynopsisCatalog(self)
+        return self._synopses
 
     # -- catalog management --------------------------------------------------------
 

@@ -14,6 +14,7 @@ from repro.colstore.compression import (
     sorted_distinct,
     sorted_distinct_inverse,
 )
+from repro.colstore.sketches import HyperLogLog, TDigest
 from repro.plan.optimizer import ColumnStats
 
 
@@ -217,6 +218,32 @@ class ColumnVector:
             return self._encoding.group_reduce(values, function, selection)
         keys, inverse = self.distinct_inverse(selection)
         return keys, reduce_by_inverse(inverse, len(keys), values, function)
+
+    def hll_sketch(self, selection: np.ndarray | None = None,
+                   p: int = 12) -> HyperLogLog:
+        """Build a HyperLogLog distinct-count sketch over this column.
+
+        Streams the encoding's :meth:`~repro.colstore.compression.Encoding.sketch_pairs`
+        — an RLE column hashes each run value once, a dictionary column each
+        dictionary key once — restricted to ``selection`` when given.  The
+        returned sketch merges with any other built at the same precision
+        (the cluster bridge reduces per-partition sketches driver-side).
+        """
+        values, _ = self._encoding.sketch_pairs(selection)
+        return HyperLogLog(p).add_array(values)
+
+    def tdigest_sketch(self, selection: np.ndarray | None = None,
+                       compression: int = 256,
+                       buffer_limit: int = 4096) -> TDigest:
+        """Build a t-digest quantile sketch over this column.
+
+        The weighted :meth:`~repro.colstore.compression.Encoding.sketch_pairs`
+        stream feeds run values weighted by run lengths (RLE) or dictionary
+        keys weighted by code counts (dictionary), so low-cardinality
+        columns build an *exact* digest without ever expanding rows.
+        """
+        values, weights = self._encoding.sketch_pairs(selection)
+        return TDigest(compression, buffer_limit).add_array(values, weights)
 
     def appended(self, values: np.ndarray) -> "ColumnVector":
         """Return a new column with ``values`` appended (columns are immutable)."""

@@ -219,6 +219,21 @@ class Encoding:
         keys, inverse = self.distinct_inverse(positions)
         return keys, reduce_by_inverse(inverse, len(keys), values, function)
 
+    def sketch_pairs(
+        self, positions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """``(values, weights)`` stream for sketch builders (HLL / t-digest).
+
+        The weighted stream represents the column's value *multiset*: each
+        value appears with its multiplicity summed into the weight (``None``
+        weights mean all-ones).  Run-length and dictionary encodings answer
+        from their compressed state — each run value or dictionary key is
+        handed over once — so a sketch build touches O(distinct) values
+        instead of O(rows).  The base implementation streams the raw rows.
+        """
+        values = self.decode() if positions is None else self.take(positions)  # decode-ok: generic sketch scan fallback
+        return values, None
+
 
 @dataclass
 class PlainEncoding(Encoding):
@@ -403,6 +418,24 @@ class RunLengthEncoding(Encoding):
         reducer.at(result, run_codes, per_run)
         return run_keys, result
 
+    def sketch_pairs(
+        self, positions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Fold whole runs: each run value appears once, weighted by its length.
+
+        A narrowed selection counts surviving positions per run with one
+        ``searchsorted`` + ``bincount`` — still no row expansion.
+        """
+        if self._run_values is None:
+            return np.empty(0), None
+        if positions is None:
+            return self._run_values, self._run_lengths
+        positions = _normalised_indices(positions, self._length)
+        run_index = np.searchsorted(self._cumulative_run_ends(), positions, side="right")
+        counts = np.bincount(run_index, minlength=self.run_count)
+        present = counts > 0
+        return self._run_values[present], counts[present]
+
     def encoded_bytes(self) -> int:
         if self._run_values is None:
             return 0
@@ -495,6 +528,23 @@ class DictionaryEncoding(Encoding):
         if self._dictionary is None or not len(self._dictionary):
             return None, None, None
         return len(self._dictionary), self._dictionary[0], self._dictionary[-1]
+
+    def sketch_pairs(
+        self, positions: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Hash each dictionary key once, weighted by its code count.
+
+        Whole column: one ``bincount`` over the stored codes.  Narrowed
+        selection: the same bincount over the gathered codes, dropping keys
+        no surviving row references.
+        """
+        if self._dictionary is None or self._codes is None:
+            return np.empty(0), None
+        codes = (self._codes if positions is None
+                 else self._codes[np.asarray(positions)])
+        counts = np.bincount(codes, minlength=self.cardinality)
+        present = counts > 0
+        return self._dictionary[present], counts[present]
 
     def _expand_distinct_mask(self, distinct_mask: np.ndarray) -> np.ndarray:
         """Expand a per-distinct-value verdict to a full-length row mask.

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Mapping
 
+import numpy as np
+
 from repro.colstore.catalog import ColumnStore
 from repro.colstore.query import ColumnQuery, materialise_join
 from repro.plan import logical
@@ -161,6 +163,11 @@ def run_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
             observation.output_rows = int(len(row_labels))
             observation.output_cells = int(matrix.size)
         return matrix, row_labels, column_labels
+    if isinstance(plan, logical.ApproxAggregate):
+        result = _run_approx(plan, store, bindings)
+        if observation is not None:
+            observation.output_rows = 1
+        return result
     query = _query_for(plan, store, bindings)
     if observation is not None:
         observation.output_rows = int(len(query))
@@ -195,3 +202,104 @@ def _query_for(node: logical.PlanNode, store: ColumnStore | None,
         )
         return ColumnQuery(table)
     raise TypeError(f"cannot execute plan node {type(node).__name__} on the column store")
+
+
+def _sampled_base(node: logical.PlanNode, store: ColumnStore | None,
+                  bindings: Mapping[str, ColumnQuery] | None,
+                  fraction: float, seed: int) -> tuple[ColumnQuery, int]:
+    """Lower ``Sample(node)`` and return ``(sampled query, pre-sample rows)``.
+
+    A ``Project*(Scan)`` sample is served from the store's synopsis
+    catalog — projections never change the row set, so the cached
+    selection applies verbatim (the projection-pruning rule routinely
+    narrows the scan below the sample).  Repeated approximate queries
+    over the same ``(table, fraction, seed)`` then reuse one cached
+    selection; the catalog builds through ``ColumnQuery.sample`` so the
+    rows are bit-identical either way.
+    """
+    inner, projection = node, None
+    while isinstance(inner, logical.Project):
+        if projection is None:  # the outermost projection wins
+            projection = inner.columns
+        inner = inner.child
+    if (isinstance(inner, logical.Scan) and store is not None
+            and inner.table in store
+            and not (bindings and inner.table in bindings)):
+        table = store.table(inner.table)
+        selection = store.synopses.uniform(inner.table, fraction, seed)
+        sampled = ColumnQuery(table, selection)
+        if projection is not None:
+            sampled = sampled.select(*projection)
+        return sampled, table.row_count
+    base = _query_for(node, store, bindings)
+    return base.sample(fraction, seed), len(base)
+
+
+def _run_approx(plan: logical.ApproxAggregate, store: ColumnStore | None,
+                bindings: Mapping[str, ColumnQuery] | None):
+    """Execute an ``ApproxAggregate`` terminal → :class:`ApproxResult`.
+
+    Sketch kinds stream the child selection through the encoding-level
+    ``sketch_pairs`` builders (whole RLE runs folded, dictionary keys
+    hashed once).  Sampled kinds locate the ``Sample`` stage: sample-last
+    plans use population-known CLT bounds (with finite-population
+    correction against the pre-sample count); filters *above* the sample
+    fall back to Horvitz–Thompson bounds with the realised inclusion
+    fraction; a plan with no sample at all returns the exact answer with
+    a zero-width interval.
+    """
+    from repro.colstore import sketches
+
+    # Surface invalid-confidence / non-mergeable-aggregate before touching
+    # data; column existence and dtype are checked by the store itself.
+    plan.output_schema({plan.value: np.dtype(np.float64)})
+    if plan.kind in logical.SKETCH_APPROX_KINDS:
+        query = _query_for(plan.child, store, bindings)
+        selection = None if query._full_selection else query.selection
+        column = query.table.column(plan.value)
+        if plan.kind == "approx_distinct":
+            return column.hll_sketch(selection).result(plan.confidence)
+        return column.tdigest_sketch(selection).result(plan.quantile, plan.confidence)
+
+    fraction, seed = plan.fraction, plan.seed
+    sample_child: logical.PlanNode | None = None
+    above: list[logical.PlanNode] = []  # Filter/Project stages above the sample
+    if fraction is not None:
+        sample_child = plan.child  # inline opt-in ≡ Sample as immediate child
+    else:
+        cursor = plan.child
+        while isinstance(cursor, (logical.Filter, logical.Project)):
+            above.append(cursor)
+            cursor = cursor.child
+        if isinstance(cursor, logical.Sample):
+            fraction, seed = cursor.fraction, cursor.seed
+            sample_child = cursor.child
+
+    if sample_child is None:  # no sampling anywhere: exact, zero-width interval
+        query = _query_for(plan.child, store, bindings)
+        if plan.kind == "approx_count":
+            exact = float(len(query))
+        else:
+            values = query.column(plan.value).astype(np.float64)
+            exact = float(values.sum()) if plan.kind == "approx_sum" else (
+                float(values.mean()) if len(values) else float("nan"))
+        return sketches.ApproxResult(exact, exact, exact, plan.confidence)
+
+    sampled, population = _sampled_base(sample_child, store, bindings, fraction, seed)
+    realised = len(sampled) / population if population else 0.0
+    query, filtered = sampled, False
+    for step in reversed(above):
+        if isinstance(step, logical.Filter):
+            query = query.where(step.predicate)
+            filtered = True
+        else:
+            query = query.select(*step.columns)
+    known = None if filtered else population
+    if plan.kind == "approx_count":
+        return sketches.sampled_count(len(query), realised, plan.confidence,
+                                      population=known)
+    values = query.column(plan.value)
+    if plan.kind == "approx_sum":
+        return sketches.sampled_sum(values, realised, plan.confidence,
+                                    population=known)
+    return sketches.sampled_mean(values, realised, plan.confidence)

@@ -21,6 +21,10 @@ engine family executes (see ``docs/FUZZING.md`` for the admission table):
   legitimately differs).
 - **sample**: ``Sample(Filter*(Scan(meta-table)))`` — column store versus
   reference only; the engines' documented sampling semantics differ.
+- **approx**: ``ApproxAggregate(Filter*(Scan(meta-table)))`` with a
+  sketch-backed kind (``approx_distinct`` / ``approx_quantile``) — column
+  store versus the reference's *exact* answer, within the per-sketch
+  relative-error bound in :mod:`repro.fuzz.tolerances`.
 
 Division and ``Opaque`` predicates stay out: division is partial (the row
 store raises on a zero divisor mid-scan) and opaque callables cannot be
@@ -38,6 +42,7 @@ from repro.core.queries import EXPRESSION_TRIPLE
 from repro.fuzz.serialize import plan_from_json, plan_to_json
 from repro.plan import (
     Aggregate,
+    ApproxAggregate,
     Expression,
     Filter,
     Join,
@@ -212,10 +217,20 @@ def _meta_filters(chooser: Chooser, schema: FuzzSchema, table: str,
 def generate_case(chooser: Chooser, schema: FuzzSchema) -> FuzzCase:
     """Draw one case from the grammar."""
     shape = chooser.choice(
-        ("meta", "meta", "aggregate", "aggregate", "pivot", "sample")
+        ("meta", "meta", "aggregate", "aggregate", "pivot", "sample", "approx")
     )
     table = chooser.choice(sorted(META_KEYS))
     key = META_KEYS[table]
+    if shape == "approx":
+        node = _meta_filters(chooser, schema, table, Scan(table), max_filters=2)
+        kind = chooser.choice(("approx_distinct", "approx_quantile"))
+        value = chooser.choice((key, chooser.choice(schema.pools[table]).name))
+        if kind == "approx_quantile":
+            plan = ApproxAggregate(node, value, kind,
+                                   quantile=chooser.randint(1, 19) / 20.0)
+        else:
+            plan = ApproxAggregate(node, value, kind)
+        return FuzzCase(shape, plan, table, key, has_value_predicate=False)
     if shape == "meta":
         node = _meta_filters(chooser, schema, table, Scan(table), max_filters=2)
         if chooser.chance(0.3):

@@ -23,6 +23,7 @@ meta       yes       yes      yes    yes    yes
 aggregate  yes       yes      yes    no cell predicates  yes
 pivot      yes       yes      yes    no cell predicates  yes
 sample     yes       no       no     no     no
+approx     yes       no       no     no     no
 ========== ========= ======== ====== ====== =========
 
 Aggregate/pivot cases whose reference long-format output is *empty* are
@@ -55,7 +56,12 @@ from repro.datagen.dataset import GenBaseDataset
 from repro.fuzz.calibration import CalibrationRecord
 from repro.fuzz.generate import META_KEYS, FuzzCase, FuzzSchema
 from repro.fuzz.reference import ReferenceTrace, run_reference
-from repro.fuzz.tolerances import EXACT, aggregate_tolerance, assert_values_match
+from repro.fuzz.tolerances import (
+    EXACT,
+    aggregate_tolerance,
+    assert_values_match,
+    sketch_tolerance,
+)
 from repro.mapreduce import HiveSession, HiveTable, MapReduceEngine
 from repro.mapreduce.bridge import (
     estimate_shuffle_bytes,
@@ -180,6 +186,8 @@ class FuzzHarness:
             self._check_sample(case, reference, outcome)
         elif trace.terminal_input_rows == 0:
             outcome.skipped_empty = True
+        elif case.shape == "approx":
+            self._check_approx(case, reference, outcome)
         elif case.shape == "aggregate":
             self._check_aggregate(case, reference, outcome)
         elif case.shape == "pivot":
@@ -235,6 +243,40 @@ class FuzzHarness:
                     np.asarray(query.column(column))[qorder],
                     np.asarray(reference[column])[order],
                     EXACT, f"{context} [{label}] {column}",
+                )
+            outcome.engines_checked.append(label)
+
+    def _check_approx(self, case: FuzzCase, reference: float, outcome: FuzzOutcome):
+        """Sketch terminals: column store estimates vs the exact reference.
+
+        Both the optimized and unoptimized lowerings must return a
+        well-formed ``(estimate, ci_low, ci_high, confidence)`` whose
+        estimate agrees with the reference's *exact* answer under the
+        per-sketch tolerance — HLL within its three-sigma relative bound,
+        the t-digest's deterministic rank bracket covering the truth.
+        """
+        plan = case.plan
+        assert isinstance(plan, logical.ApproxAggregate)
+        tolerance = sketch_tolerance(plan.kind)
+        context = (f"seed={case.seed} shape=approx table={case.table} "
+                   f"kind={plan.kind}")
+        for label, optimized in (("colstore", True), ("colstore-unopt", False)):
+            result = run_plan(case.plan, self.store, optimized=optimized)
+            assert result.ci_low <= result.estimate <= result.ci_high, (
+                f"{context} [{label}]: malformed interval {result}"
+            )
+            assert 0.0 < result.confidence < 1.0, (
+                f"{context} [{label}]: confidence {result.confidence}"
+            )
+            if plan.kind == "approx_quantile":
+                assert result.ci_low <= reference <= result.ci_high, (
+                    f"{context} [{label}]: exact quantile {reference} outside "
+                    f"rank bracket [{result.ci_low}, {result.ci_high}]"
+                )
+            else:
+                assert_values_match(
+                    np.float64(result.estimate), np.float64(reference),
+                    tolerance, f"{context} [{label}]",
                 )
             outcome.engines_checked.append(label)
 
@@ -299,7 +341,7 @@ class FuzzHarness:
                           else case.plan)
         predicted = estimate_output_rows(predicted_plan, catalog)
         shuffle = None
-        if case.shape != "sample":
+        if case.shape not in ("sample", "approx"):
             shuffle = estimate_shuffle_bytes(
                 predicted_plan, self.hive_tables, n_splits=self.mr_engine.n_splits
             )
@@ -360,5 +402,10 @@ def _strip_filters(node: logical.PlanNode) -> logical.PlanNode:
     if isinstance(node, logical.Pivot):
         return logical.Pivot(
             _strip_filters(node.child), node.row_key, node.column_key, node.value
+        )
+    if isinstance(node, logical.ApproxAggregate):
+        return logical.ApproxAggregate(
+            _strip_filters(node.child), node.value, node.kind,
+            node.quantile, node.confidence, node.fraction, node.seed,
         )
     return node

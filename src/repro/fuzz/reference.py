@@ -96,6 +96,12 @@ def run_reference(plan: logical.PlanNode,
             trace.output_rows = int(len(row_labels))
             trace.output_cells = int(matrix.size)
         return matrix, row_labels, column_labels
+    if isinstance(plan, logical.ApproxAggregate):
+        child = _evaluate(plan.child, tables)
+        if trace is not None:
+            trace.terminal_input_rows = len(child)
+            trace.output_rows = 1
+        return _exact_approx(np.asarray(child.columns[plan.value]), plan)
     result = _evaluate(plan, tables)
     if trace is not None:
         trace.terminal_input_rows = len(result)
@@ -164,6 +170,26 @@ def _evaluate(node: logical.PlanNode,
     raise TypeError(
         f"cannot execute plan node {type(node).__name__} in the reference"
     )
+
+
+def _exact_approx(values: np.ndarray, plan: logical.ApproxAggregate) -> float:
+    """The *exact* scalar an approximate aggregate estimates.
+
+    The fuzzer compares every sketch/sample estimate against this ground
+    truth under the per-sketch tolerance — not against another estimate.
+    """
+    if plan.kind == "approx_distinct":
+        return float(len(np.unique(values)))
+    if len(values) == 0:
+        return 0.0 if plan.kind in ("approx_count", "approx_sum") else float("nan")
+    doubles = values.astype(np.float64)
+    if plan.kind == "approx_quantile":
+        return float(np.quantile(doubles, plan.quantile, method="inverted_cdf"))
+    if plan.kind == "approx_count":
+        return float(len(values))
+    if plan.kind == "approx_sum":
+        return float(np.sum(doubles))
+    return float(np.mean(doubles))
 
 
 def _group_aggregate(keys: np.ndarray, values: np.ndarray, function: str):

@@ -124,6 +124,17 @@ def plan_to_json(plan: logical.PlanNode) -> dict:
             "column_key": plan.column_key,
             "value": plan.value,
         }
+    if isinstance(plan, logical.ApproxAggregate):
+        return {
+            "t": "approx",
+            "child": plan_to_json(plan.child),
+            "value": plan.value,
+            "kind": plan.kind,
+            "quantile": plan.quantile,
+            "confidence": plan.confidence,
+            "fraction": plan.fraction,
+            "seed": plan.seed,
+        }
     raise TypeError(f"cannot serialise plan node {type(plan).__name__}")
 
 
@@ -156,6 +167,11 @@ def plan_from_json(data: dict) -> logical.PlanNode:
         return logical.Pivot(
             plan_from_json(data["child"]), data["row_key"],
             data["column_key"], data["value"],
+        )
+    if kind == "approx":
+        return logical.ApproxAggregate(
+            plan_from_json(data["child"]), data["value"], data["kind"],
+            data["quantile"], data["confidence"], data["fraction"], data["seed"],
         )
     raise ValueError(f"unknown plan tag {kind!r}")
 

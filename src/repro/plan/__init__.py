@@ -36,7 +36,9 @@ from repro.plan.expressions import (
     split_conjuncts,
 )
 from repro.plan.logical import (
+    APPROX_AGGREGATE_KINDS,
     Aggregate,
+    ApproxAggregate,
     Filter,
     Join,
     Pivot,
@@ -44,6 +46,11 @@ from repro.plan.logical import (
     Project,
     Sample,
     Scan,
+    approx_count,
+    approx_distinct,
+    approx_mean,
+    approx_quantile,
+    approx_sum,
     explain,
 )
 from repro.plan.optimizer import (
@@ -87,7 +94,9 @@ __all__ = [
     "opaque",
     "or_",
     "split_conjuncts",
+    "APPROX_AGGREGATE_KINDS",
     "Aggregate",
+    "ApproxAggregate",
     "Filter",
     "Join",
     "Pivot",
@@ -95,6 +104,11 @@ __all__ = [
     "Project",
     "Sample",
     "Scan",
+    "approx_count",
+    "approx_distinct",
+    "approx_mean",
+    "approx_quantile",
+    "approx_sum",
     "explain",
     "ColumnStats",
     "OptimizerCapabilities",

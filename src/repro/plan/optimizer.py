@@ -42,7 +42,9 @@ from repro.plan.expressions import (
     split_conjuncts,
 )
 from repro.plan.logical import (
+    SAMPLED_APPROX_KINDS,
     Aggregate,
+    ApproxAggregate,
     Filter,
     Join,
     Pivot,
@@ -101,6 +103,11 @@ class OptimizerCapabilities:
     filter_reordering: bool = True
     join_build_side: bool = True
     projection_pruning: bool = True
+    # Materialise an opted-in ApproxAggregate's sample as an explicit
+    # child Sample node (route_through_synopsis) so the executor can serve
+    # it from the shared synopsis catalog.  Engines without a synopsis
+    # catalog disable this and sample inline.
+    synopsis_routing: bool = True
 
 
 class PlanCatalog:
@@ -425,6 +432,9 @@ def estimate_output_rows(node: PlanNode, catalog: PlanCatalog) -> float | None:
             return float(stats.distinct)
         base = estimate_output_rows(node.child, catalog)
         return None if base is None else max(1.0, base / 10.0)
+    if isinstance(node, ApproxAggregate):
+        # One (estimate, ci_low, ci_high, confidence) row, always.
+        return 1.0
     return None
 
 
@@ -490,6 +500,9 @@ def prune_projections(node: PlanNode, catalog: PlanCatalog,
     if isinstance(node, Aggregate):
         needed = {node.group_by, node.value}
         return replace(node, child=prune_projections(node.child, catalog, needed))
+    if isinstance(node, ApproxAggregate):
+        return replace(node, child=prune_projections(node.child, catalog,
+                                                     {node.value}))
     if isinstance(node, Pivot):
         needed = {node.row_key, node.column_key, node.value}
         return replace(node, child=prune_projections(node.child, catalog, needed))
@@ -540,6 +553,38 @@ def _prune_join_input(node: PlanNode, catalog: PlanCatalog,
     return pruned
 
 
+def route_through_synopsis(node: PlanNode) -> PlanNode:
+    """Materialise an opted-in approximate aggregate's sample as a child node.
+
+    An :class:`~repro.plan.logical.ApproxAggregate` of a sampled kind
+    (``approx_count`` / ``approx_sum`` / ``approx_mean``) whose
+    ``fraction`` is set asks for its input to be sampled.  The node's
+    semantics define that sample exactly as ``Sample(child, fraction,
+    seed)`` — score the child's selected base rows once with
+    ``default_rng(seed)``, keep the cheapest ``max(1, round(f·n))`` — so
+    rewriting to the explicit form changes nothing about the answer while
+    letting the column-store executor recognise ``Sample(Scan(t))`` and
+    serve the row set from the shared synopsis catalog
+    (:mod:`repro.colstore.synopsis`), built once and reused across queries.
+
+    Sketch kinds (``approx_distinct`` / ``approx_quantile``) read every
+    input row by design and are left untouched.
+
+    >>> from repro.plan.logical import approx_mean, explain
+    >>> plan = approx_mean(Scan("patients"), "age", fraction=0.1, seed=3)
+    >>> print(explain(route_through_synopsis(plan)))
+    ApproxAggregate approx_mean(age) confidence=0.95
+      Sample fraction=0.1 seed=3
+        Scan patients
+    """
+    node = _rebuild(node, route_through_synopsis)
+    if (isinstance(node, ApproxAggregate) and node.fraction is not None
+            and node.kind in SAMPLED_APPROX_KINDS):
+        sampled = Sample(node.child, node.fraction, node.seed)
+        return replace(node, child=sampled, fraction=None)
+    return node
+
+
 def collapse_projects(node: PlanNode) -> PlanNode:
     """Merge ``Project(Project(x, inner), outer)`` into one projection.
 
@@ -568,6 +613,10 @@ def optimize(node: PlanNode, catalog: PlanCatalog | None = None,
     """
     catalog = catalog or PlanCatalog()
     capabilities = capabilities or OptimizerCapabilities()
+    if capabilities.synopsis_routing:
+        # First, so the materialised Sample is in place before pushdown
+        # (Sample is a barrier: no filter may cross the new node).
+        node = route_through_synopsis(node)
     if capabilities.split_conjunctions:
         node = split_filter_conjunctions(node)
     if capabilities.predicate_pushdown:
@@ -622,7 +671,8 @@ def cost_annotator(plan: PlanNode, catalog: PlanCatalog):
 
 def _rebuild(node: PlanNode, visit) -> PlanNode:
     """Rebuild a node with ``visit`` applied to each child."""
-    if isinstance(node, (Filter, Project, Sample, Aggregate, Pivot)):
+    if isinstance(node, (Filter, Project, Sample, Aggregate, ApproxAggregate,
+                         Pivot)):
         return replace(node, child=visit(node.child))
     if isinstance(node, Join):
         return replace(node, left=visit(node.left), right=visit(node.right))

@@ -251,7 +251,7 @@ def _self_check_cases():
     """One deliberately malformed plan per rejection class."""
     from repro.plan.expressions import col, lit, opaque
     from repro.plan.logical import (
-        Aggregate, Filter, Pivot, Project, Sample,
+        Aggregate, ApproxAggregate, Filter, Pivot, Project, Sample,
     )
     from repro.plan.logical import Join as JoinNode
 
@@ -274,6 +274,15 @@ def _self_check_cases():
         ("non-numeric-aggregate", Aggregate(meta, "patient_id", "name", "sum")),
         ("non-numeric-pivot", Pivot(meta, "patient_id", "age", "name")),
         ("unknown-column", Filter(meta, opaque("weight", lambda v: v > 0))),
+        # Approximate tier: a confidence level must be strictly interior,
+        # and every admitted approx kind needs driver-side mergeable
+        # partials (docs/APPROXIMATE.md).
+        ("invalid-confidence",
+         ApproxAggregate(meta, "age", "approx_mean", confidence=1.5)),
+        ("non-mergeable-aggregate",
+         ApproxAggregate(facts, "expression_value", "approx_mode")),
+        ("non-numeric-aggregate",
+         ApproxAggregate(meta, "name", "approx_distinct")),
     ]
 
 

@@ -40,6 +40,7 @@ from repro.fuzz.tolerances import (
     ULP,
     aggregate_tolerance,
     assert_values_match,
+    sketch_tolerance,
     summary_tolerance,
 )
 from repro.plan import Filter, Join, Pivot, Project, Scan, col
@@ -229,3 +230,31 @@ class TestReferenceSampleSemantics:
             harness.check_case(case)
             checked += 1
         assert checked >= 10  # the grammar must actually exercise Sample
+
+
+class TestApproxShapes:
+    """Sketch-backed approx plans stay inside their promised error bounds."""
+
+    def test_approx_plans_match_exact_reference_for_many_seeds(self, harness):
+        checked = 0
+        for seed in range(200):
+            case = case_from_seed(seed, harness.schema)
+            if case.shape != "approx":
+                continue
+            outcome = harness.check_case(case)
+            if not outcome.skipped_empty:
+                assert outcome.engines_checked == ["colstore", "colstore-unopt"]
+                checked += 1
+        assert checked >= 10  # the grammar must actually exercise approx
+
+    def test_approx_plans_serialise(self, harness):
+        for seed in range(200):
+            case = case_from_seed(seed, harness.schema)
+            if case.shape != "approx":
+                continue
+            data = plan_to_json(case.plan)
+            assert plan_to_json(plan_from_json(data)) == data
+
+    def test_sketch_tolerance_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            sketch_tolerance("approx_sum")  # sampled, not sketch-backed

@@ -34,6 +34,7 @@ class TestRulesFireOnFixtures:
         ("raw-lambda-predicate", "raw_lambda_predicate.py"),
         ("decode-in-fast-path", "colstore/compression.py"),
         ("unseeded-rng", "unseeded_rng.py"),
+        ("unseeded-rng", "unseeded_synopsis.py"),
         ("fragment-state-mutation", "fragment_state_mutation.py"),
         ("bare-except", "bare_except.py"),
         ("plan-dataclass-eq", "plan_dataclass_eq.py"),
