@@ -80,6 +80,12 @@ from repro.colstore.compression import (
     reduce_by_inverse,
 )
 from repro.colstore.table import ColumnTable
+from repro.colstore.delta import (
+    DeltaStore,
+    MergedColumn,
+    Snapshot,
+    SnapshotTable,
+)
 from repro.colstore.catalog import ColumnStore
 from repro.colstore.query import (
     ColumnQuery,
@@ -107,6 +113,10 @@ __all__ = [
     "reduce_by_inverse",
     "ColumnTable",
     "ColumnStore",
+    "DeltaStore",
+    "MergedColumn",
+    "Snapshot",
+    "SnapshotTable",
     "ColumnQuery",
     "JoinedQuery",
     "materialise_join",

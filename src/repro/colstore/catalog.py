@@ -6,16 +6,29 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.colstore.delta import DeltaStore, Snapshot
 from repro.colstore.query import ColumnQuery
 from repro.colstore.table import ColumnTable
 
 
 class ColumnStore:
-    """A single-node column-store database: a catalog of column tables."""
+    """A single-node column-store database: a catalog of column tables.
+
+    Tables load sealed (compressed, read-optimised); the first write
+    through :meth:`append` / :meth:`delete` / :meth:`update` attaches a
+    :class:`~repro.colstore.delta.DeltaStore` — the writable tail +
+    deletion-bitmap tier — and from then on every query resolves through a
+    :class:`~repro.colstore.delta.Snapshot` of that table's current
+    version, so readers see a consistent state while writers keep writing.
+    Writes invalidate the affected synopsis-catalog entries (whose cache
+    keys also carry :meth:`store_version`, so a stale entry can never be
+    served even across re-derived catalogs).
+    """
 
     def __init__(self, name: str = "genbase"):
         self.name = name
         self._tables: dict[str, ColumnTable] = {}
+        self._deltas: dict[str, DeltaStore] = {}
         self._synopses: "SynopsisCatalog | None" = None
 
     @property
@@ -55,13 +68,29 @@ class ColumnStore:
         if name not in self._tables:
             raise KeyError(f"no table named {name!r}")
         del self._tables[name]
+        self._deltas.pop(name, None)
 
     def table(self, name: str) -> ColumnTable:
+        """The table's current *sealed* segment (tail and deletes not applied).
+
+        Written tables should be read through :meth:`query` /
+        :meth:`effective_table`, which resolve the full logical content.
+        """
+        delta = self._deltas.get(name)
+        if delta is not None:
+            return delta.sealed_table
         try:
             return self._tables[name]
         except KeyError:
             known = ", ".join(sorted(self._tables)) or "<none>"
             raise KeyError(f"no table named {name!r}; known tables: {known}") from None
+
+    def effective_table(self, name: str):
+        """The table's logical view: a snapshot table once written, else sealed."""
+        delta = self._deltas.get(name)
+        if delta is None:
+            return self.table(name)
+        return delta.snapshot().table
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
@@ -69,27 +98,95 @@ class ColumnStore:
     def __contains__(self, name: str) -> bool:
         return name in self._tables
 
+    # -- writes -----------------------------------------------------------------------
+
+    def writable(self, name: str) -> DeltaStore:
+        """The table's delta store, attached on first use.
+
+        The returned store carries the write API (``append`` / ``delete``
+        / ``update`` / ``compact``) and hands out :class:`Snapshot`
+        handles; its write hook invalidates this store's synopsis cache.
+        """
+        delta = self._deltas.get(name)
+        if delta is None:
+            sealed = self.table(name)  # raises KeyError naming known tables
+            delta = DeltaStore(sealed, on_write=lambda: self._written(name))
+            self._deltas[name] = delta
+        return delta
+
+    def _written(self, name: str) -> None:
+        """Write hook: drop the written table's cached synopses."""
+        if self._synopses is not None:
+            self._synopses.invalidate(name)
+
+    def append(self, name: str, rows: Mapping[str, np.ndarray]) -> int:
+        """Append rows to a table's tail; returns the new store version."""
+        return self.writable(name).append(rows)
+
+    def delete(self, name: str, row_ids) -> int:
+        """Mark logical row ids deleted; returns the new store version."""
+        return self.writable(name).delete(row_ids)
+
+    def delete_where(self, name: str, expression) -> int:
+        """Delete live rows matching a plan expression; returns rows deleted."""
+        return self.writable(name).delete_where(expression)
+
+    def update(self, name: str, row_ids, rows: Mapping[str, np.ndarray]) -> int:
+        """Atomically replace ``row_ids`` with ``rows``; returns the new version."""
+        return self.writable(name).update(row_ids, rows)
+
+    def compact(self, name: str) -> int:
+        """Reseal a written table's surviving rows as a new generation."""
+        return self.writable(name).compact()
+
+    def snapshot(self, name: str) -> Snapshot:
+        """A consistent point-in-time view of one table."""
+        return self.writable(name).snapshot()
+
+    def store_version(self, name: str) -> int:
+        """The table's write-version counter (0 while never written)."""
+        delta = self._deltas.get(name)
+        return 0 if delta is None else delta.version
+
+    def live_row_count(self, name: str) -> int:
+        """Logical (live) rows: sealed + tail minus deletions."""
+        delta = self._deltas.get(name)
+        if delta is None:
+            return self.table(name).row_count
+        return delta.snapshot().live_rows
+
     # -- querying ---------------------------------------------------------------------
 
     def query(self, table_name: str) -> ColumnQuery:
-        """Start a vectorised query on a table."""
-        return ColumnQuery(self.table(table_name))
+        """Start a vectorised query on a table.
+
+        A written table is read through a fresh :class:`Snapshot` — the
+        query sees the sealed segment, tail and deletion bitmap frozen at
+        this call, however long it stays lazy.
+        """
+        delta = self._deltas.get(table_name)
+        if delta is None:
+            return ColumnQuery(self.table(table_name))
+        return delta.snapshot().query()
 
     # -- stats ------------------------------------------------------------------------
 
     def total_rows(self) -> int:
-        return sum(table.row_count for table in self._tables.values())
+        return sum(self.live_row_count(name) for name in self._tables)
 
     def total_compressed_bytes(self) -> int:
-        return sum(table.compressed_bytes for table in self._tables.values())
+        return sum(self.effective_table(name).compressed_bytes
+                   for name in self._tables)
 
     def describe(self) -> dict[str, dict]:
         return {
             name: {
-                "rows": table.row_count,
+                "rows": self.live_row_count(name),
                 "columns": table.column_names,
                 "compressed_bytes": table.compressed_bytes,
                 "encodings": table.encodings(),
             }
-            for name, table in sorted(self._tables.items())
+            for name, table in sorted(
+                (name, self.effective_table(name)) for name in self._tables
+            )
         }

@@ -245,6 +245,25 @@ class ColumnVector:
         values, weights = self._encoding.sketch_pairs(selection)
         return TDigest(compression, buffer_limit).add_array(values, weights)
 
+    def coerce(self, values: np.ndarray) -> np.ndarray:
+        """Cast incoming values to this column's dtype, refusing lossy casts.
+
+        ``same_kind`` casting rejects float→int truncation outright, and
+        string values wider than the column's fixed width raise instead of
+        being silently clipped — the write path's (``DeltaStore.append``)
+        admission rule.
+        """
+        values = np.atleast_1d(np.asarray(values))
+        if values.ndim != 1:
+            raise ValueError(f"column {self.name!r}: values must be 1-d")
+        coerced = values.astype(self.dtype, casting="same_kind", copy=True)
+        if self.dtype.kind in "US" and values.dtype.kind in "US":
+            if (coerced != values).any():
+                raise ValueError(
+                    f"column {self.name!r}: value too wide for dtype {self.dtype}"
+                )
+        return coerced
+
     def appended(self, values: np.ndarray) -> "ColumnVector":
         """Return a new column with ``values`` appended (columns are immutable)."""
         combined = np.concatenate([self.values(), np.asarray(values, dtype=self.dtype)])

@@ -1,0 +1,761 @@
+"""The writable delta tier over the sealed compressed segments.
+
+The column store is loaded once and sealed; production traffic writes.
+This module layers an update-friendly tier over each sealed table — the
+HTAP split of Polynesia and the delta-store designs of C-Store/SAP HANA:
+
+- **tail** — appended rows kept as plain (uncompressed) numpy arrays, in
+  append order, one chunk per ``append`` call;
+- **deletion bitmap** — a boolean array over the *logical* row space
+  (sealed rows first, then tail rows in append order); logical row ids are
+  stable until a compaction reseals the table;
+- **version counter** — bumped by every write; readers use it to detect
+  staleness (the synopsis cache keys on it).
+
+Every piece of published state is immutable: a write builds a complete new
+:class:`_TableState` and swaps one reference under the writer lock, so a
+:class:`Snapshot` (one state reference, grabbed atomically) stays
+internally consistent forever — readers never lock, never block writers,
+and never observe a half-applied write.  ``compact()`` re-runs
+``best_encoding`` over the surviving rows, seals a new segment generation
+and publishes it the same way; live snapshots keep answering from the
+state they captured.
+
+Scans merge the two parts per operator instead of decoding the sealed
+segment: :class:`MergedColumn` implements the
+:class:`~repro.colstore.column.ColumnVector` surface by running the
+compressed fast path on the sealed part and vectorised plain evaluation on
+the tail — concatenated filter masks, unioned distinct sets, per-part
+group-reduce partials merged by key, and mergeable HLL/t-digest sketches
+(the sketch machinery already merges across cluster partitions; a tail is
+just one more partition).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.colstore.column import ColumnVector
+from repro.colstore.compression import predicate_mask, reduce_by_inverse
+from repro.colstore.query import ColumnQuery
+from repro.colstore.sketches import HyperLogLog, TDigest
+from repro.colstore.table import ColumnTable
+from repro.plan.optimizer import ColumnStats
+
+
+def merge_group_parts(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]], function: str,
+    key_dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-part ``(keys, aggregates)`` partials into one grouped result.
+
+    Each part follows the :meth:`~repro.colstore.column.ColumnVector.group_reduce`
+    contract (sorted unique keys, float64 aggregates).  ``sum``/``count``
+    partials add; ``min``/``max`` partials combine element-wise.  ``mean``
+    is *not* mergeable from per-part means — callers must merge ``sum`` and
+    ``count`` partials and divide.
+    """
+    parts = [(keys, values) for keys, values in parts if len(keys)]
+    if not parts:
+        return np.empty(0, dtype=key_dtype), np.empty(0, dtype=np.float64)
+    if len(parts) == 1:
+        keys, values = parts[0]
+        return keys, np.asarray(values, dtype=np.float64)
+    keys = parts[0][0]
+    for more, _ in parts[1:]:
+        keys = np.union1d(keys, more)
+    merged = np.zeros(len(keys), dtype=np.float64)
+    seen = np.zeros(len(keys), dtype=bool)
+    for part_keys, part_values in parts:
+        at = np.searchsorted(keys, part_keys)
+        part_values = np.asarray(part_values, dtype=np.float64)
+        if function in ("sum", "count"):
+            merged[at] += part_values
+        elif function == "min":
+            merged[at] = np.where(seen[at], np.minimum(merged[at], part_values),
+                                  part_values)
+        elif function == "max":
+            merged[at] = np.where(seen[at], np.maximum(merged[at], part_values),
+                                  part_values)
+        else:
+            raise ValueError(f"cannot merge partials for function {function!r}")
+        seen[at] = True
+    return keys, merged
+
+
+class MergedColumn:
+    """A sealed compressed column plus its plain tail, presented as one vector.
+
+    Implements the :class:`~repro.colstore.column.ColumnVector` query
+    surface over the concatenation ``[sealed rows..., tail rows...]``.
+    Operators run the encoding's compressed fast path on the sealed part
+    and vectorised plain evaluation on the tail, merging per operator —
+    the sealed segment is never decoded just because a tail exists.
+
+    Instances are per-snapshot views; their small caches (the decoded
+    concatenation, merged stats) are idempotent, so racing readers at
+    worst compute the same value twice.
+    """
+
+    def __init__(self, sealed: ColumnVector, tail: np.ndarray):
+        self.name = sealed.name
+        self.dtype = sealed.dtype
+        self._sealed = sealed
+        self._tail = tail
+        self._split = len(sealed)  # logical position of the first tail row
+        self._cache: np.ndarray | None = None
+        self._stats: ColumnStats | None = None
+        self._tail_distinct: tuple[np.ndarray, np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return self._split + len(self._tail)
+
+    def __repr__(self) -> str:
+        return (
+            f"MergedColumn({self.name!r}, sealed={self._split}, "
+            f"tail={len(self._tail)}, encoding={self.encoding_name})"
+        )
+
+    @property
+    def encoding_name(self) -> str:
+        return f"{self._sealed.encoding_name}+tail"
+
+    @property
+    def encoded_bytes(self) -> int:
+        return self._sealed.encoded_bytes + self._tail.nbytes
+
+    @property
+    def supports_distinct_pushdown(self) -> bool:
+        """The tail is plain; only the sealed part pushes predicates down."""
+        return False
+
+    # -- statistics ----------------------------------------------------------------
+
+    def stats(self) -> ColumnStats:
+        """Sealed stats widened by the tail's min/max (cached).
+
+        Bounds are reported only when the sealed part knows its own —
+        a tail-only bound would *narrow* the range and mislead the
+        planner's selectivity estimates.  The distinct count is dropped:
+        the tail may add unseen values.
+        """
+        if self._stats is None:
+            base = self._sealed.stats()
+            minimum, maximum = base.minimum, base.maximum
+            if self._tail.size and minimum is not None and maximum is not None:
+                tail_low = float(self._tail.min())
+                tail_high = float(self._tail.max())
+                if np.isfinite(tail_low) and np.isfinite(tail_high):
+                    minimum = min(minimum, tail_low)
+                    maximum = max(maximum, tail_high)
+                else:
+                    minimum = maximum = None
+            self._stats = ColumnStats(len(self), None, minimum, maximum)
+        return self._stats
+
+    # -- materialisation -----------------------------------------------------------
+
+    def values(self) -> np.ndarray:
+        """Decode the sealed part and concatenate the tail (cached)."""
+        if self._cache is None:
+            if not self._tail.size:
+                self._cache = self._sealed.values()  # decode-ok: explicit full-materialisation API
+            else:
+                self._cache = np.concatenate(
+                    [self._sealed.values(), self._tail]  # decode-ok: explicit full-materialisation API
+                )
+        return self._cache
+
+    def _split_point(self, indices: np.ndarray) -> int | None:
+        """Length of the sealed prefix, or None when parts interleave.
+
+        Selections out of the query layer are sorted (``flatnonzero``
+        order), so in practice every sealed position precedes every tail
+        position and a gather splits into two *contiguous* slices.
+        Detecting that costs two cheap passes and skips the
+        mask/flatnonzero/scatter fallback's several full-array round
+        trips — the difference between a merged scan tracking the sealed
+        one and costing multiples of it.
+        """
+        in_sealed = indices < self._split
+        cut = int(np.count_nonzero(in_sealed))
+        if bool(in_sealed[:cut].all()):
+            return cut
+        return None
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Gather by logical position, split between sealed and tail parts."""
+        indices = np.asarray(indices)
+        if self._cache is not None:
+            return self._cache[indices]
+        if indices.size and indices.min() < 0:
+            indices = np.where(indices < 0, indices + len(self), indices)
+        cut = self._split_point(indices)
+        if cut is not None:
+            if cut == indices.size:
+                return self._sealed.take(indices)
+            tail_part = self._tail[indices[cut:] - self._split]
+            if cut == 0:
+                return tail_part
+            return np.concatenate([self._sealed.take(indices[:cut]), tail_part])
+        in_sealed = indices < self._split
+        out = np.empty(indices.shape, dtype=self.dtype)
+        sealed_at = np.flatnonzero(in_sealed)
+        if sealed_at.size:
+            out[sealed_at] = self._sealed.take(indices[sealed_at])
+        tail_at = np.flatnonzero(~in_sealed)
+        out[tail_at] = self._tail[indices[tail_at] - self._split]
+        return out
+
+    # -- filtering -----------------------------------------------------------------
+
+    def filter_mask(self, predicate) -> np.ndarray:
+        """Sealed pushdown mask concatenated with a plain tail mask."""
+        sealed_mask = self._sealed.filter_mask(predicate)
+        if not self._tail.size:
+            return sealed_mask
+        return np.concatenate([sealed_mask, predicate_mask(self._tail, predicate)])
+
+    def isin(self, values: np.ndarray) -> np.ndarray:
+        sealed_mask = self._sealed.isin(values)
+        if not self._tail.size:
+            return sealed_mask
+        return np.concatenate([sealed_mask, np.isin(self._tail, values)])
+
+    # -- grouping ------------------------------------------------------------------
+
+    def _split_selection(
+        self, selection: np.ndarray | None
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """``(sealed selection or None-for-all, gathered tail values)``."""
+        if selection is None:
+            return None, self._tail
+        selection = np.asarray(selection)
+        cut = self._split_point(selection)
+        if cut is not None:
+            return selection[:cut], self._tail[selection[cut:] - self._split]
+        in_sealed = selection < self._split
+        return selection[in_sealed], self._tail[selection[~in_sealed] - self._split]
+
+    def distinct_inverse(
+        self, selection: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Union the sealed distinct set with the tail's; remap both inverses."""
+        if not self._tail.size:
+            return self._sealed.distinct_inverse(selection)
+        if selection is not None:
+            return np.unique(self.take(selection), return_inverse=True)
+        sealed_keys, sealed_inverse = self._sealed.distinct_inverse(None)
+        tail_keys, tail_inverse = np.unique(self._tail, return_inverse=True)
+        keys = np.union1d(sealed_keys, tail_keys)
+        inverse = np.concatenate([
+            np.searchsorted(keys, sealed_keys)[np.asarray(sealed_inverse)],
+            np.searchsorted(keys, tail_keys)[np.asarray(tail_inverse)],
+        ])
+        return keys, inverse
+
+    def distinct_values(self, selection: np.ndarray | None = None) -> np.ndarray:
+        if not self._tail.size:
+            return self._sealed.distinct_values(selection)
+        if selection is not None:
+            return np.unique(self.take(selection))
+        return np.union1d(self._sealed.distinct_values(None), self._tail)
+
+    def group_reduce(
+        self,
+        values: np.ndarray | None,
+        function: str,
+        selection: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compressed sealed partials + plain tail partials, merged by key.
+
+        ``mean`` merges ``sum`` and ``count`` partials and divides — a
+        per-part mean cannot be combined without its weights.
+        """
+        if not self._tail.size:
+            return self._sealed.group_reduce(values, function, selection)
+        if function == "mean":
+            keys, sums = self.group_reduce(values, "sum", selection)
+            _, counts = self.group_reduce(None, "count", selection)
+            return keys, sums / counts
+        if selection is None:
+            sealed_selection = None
+            sealed_values = None if values is None else values[:self._split]
+            tail_values = None if values is None else values[self._split:]
+            tail_keys_source = self._tail
+        else:
+            selection = np.asarray(selection)
+            cut = self._split_point(selection)
+            if cut is not None:
+                sealed_selection = selection[:cut]
+                tail_keys_source = self._tail[selection[cut:] - self._split]
+                sealed_values = None if values is None else values[:cut]
+                tail_values = None if values is None else values[cut:]
+            else:
+                in_sealed = selection < self._split
+                sealed_selection = selection[in_sealed]
+                tail_keys_source = self._tail[selection[~in_sealed] - self._split]
+                sealed_values = None if values is None else values[in_sealed]
+                tail_values = None if values is None else values[~in_sealed]
+        parts = []
+        if sealed_selection is None or sealed_selection.size:
+            parts.append(
+                self._sealed.group_reduce(sealed_values, function, sealed_selection)
+            )
+        if tail_keys_source.size:
+            if tail_keys_source is self._tail:
+                # Full-tail grouping: the tail is immutable per state, so
+                # its dictionary decomposition is computed once and reused
+                # by every scan of this version — the sort that would
+                # otherwise dominate the merge overhead.
+                if self._tail_distinct is None:
+                    self._tail_distinct = np.unique(self._tail, return_inverse=True)
+                tail_keys, tail_codes = self._tail_distinct
+            else:
+                tail_keys, tail_codes = np.unique(tail_keys_source, return_inverse=True)
+            parts.append((
+                tail_keys,
+                reduce_by_inverse(tail_codes, len(tail_keys), tail_values, function),
+            ))
+        return merge_group_parts(parts, function, self.dtype)
+
+    # -- sketches ------------------------------------------------------------------
+
+    def hll_sketch(self, selection: np.ndarray | None = None,
+                   p: int = 12) -> HyperLogLog:
+        """Sealed compressed-stream sketch merged with a tail sketch."""
+        sealed_selection, tail_values = self._split_selection(selection)
+        sketch = HyperLogLog(p)
+        if sealed_selection is None or sealed_selection.size:
+            sketch = sketch.merge(self._sealed.hll_sketch(sealed_selection, p))
+        if tail_values.size:
+            sketch.add_array(tail_values)
+        return sketch
+
+    def tdigest_sketch(self, selection: np.ndarray | None = None,
+                       compression: int = 256,
+                       buffer_limit: int = 4096) -> TDigest:
+        sealed_selection, tail_values = self._split_selection(selection)
+        digest = TDigest(compression, buffer_limit)
+        if sealed_selection is None or sealed_selection.size:
+            digest = digest.merge(
+                self._sealed.tdigest_sketch(sealed_selection, compression,
+                                            buffer_limit)
+            )
+        if tail_values.size:
+            digest.add_array(np.asarray(tail_values, dtype=np.float64))
+        return digest
+
+
+class SnapshotTable:
+    """A :class:`~repro.colstore.table.ColumnTable` drop-in over one state.
+
+    Presents the sealed segment plus the frozen tail as one logical table
+    of ``sealed + tail`` rows; deletions are *not* applied here — they are
+    a base selection the :class:`Snapshot` supplies to its queries, so the
+    logical row-id space stays stable for delete targeting.
+    """
+
+    def __init__(self, state: "_TableState"):
+        self._state = state
+        self.name = state.sealed.name
+
+    @property
+    def column_names(self) -> list[str]:
+        return self._state.sealed.column_names
+
+    @property
+    def row_count(self) -> int:
+        return self._state.total_rows
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(self.column(name).encoded_bytes for name in self.column_names)
+
+    def encodings(self) -> dict[str, str]:
+        return {name: self.column(name).encoding_name for name in self.column_names}
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotTable({self.name!r}, rows={self.row_count}, "
+            f"tail={self._state.tail_rows}, version={self._state.version})"
+        )
+
+    def column(self, name: str) -> MergedColumn:
+        return self._state.merged_column(name)
+
+    def values(self, name: str) -> np.ndarray:
+        return self.column(name).values()
+
+    def gather(self, names: Sequence[str],
+               indices: np.ndarray | None = None) -> dict[str, np.ndarray]:
+        result = {}
+        for name in names:
+            column = self.column(name)
+            result[name] = column.values() if indices is None else column.take(indices)
+        return result
+
+    def to_rows(self, names: Sequence[str] | None = None) -> list[tuple]:
+        names = list(names) if names is not None else self.column_names
+        arrays = [self.values(name) for name in names]
+        return list(zip(*[array.tolist() for array in arrays], strict=True)) if arrays else []
+
+
+class _TableState:
+    """One immutable published version of a table.
+
+    Never mutated after publication (the lazy tail/live caches are
+    idempotent); a :class:`Snapshot` is one reference to one of these.
+    ``deleted`` may be shorter than ``total_rows`` — rows appended after
+    the last delete are implicitly live.
+    """
+
+    __slots__ = ("sealed", "generation", "version", "chunks", "tail_rows",
+                 "deleted", "deleted_count", "_tails", "_merged", "_live")
+
+    def __init__(self, sealed: ColumnTable, generation: int, version: int,
+                 chunks: tuple, tail_rows: int,
+                 deleted: np.ndarray | None, deleted_count: int):
+        self.sealed = sealed
+        self.generation = generation
+        self.version = version
+        self.chunks = chunks
+        self.tail_rows = tail_rows
+        self.deleted = deleted
+        self.deleted_count = deleted_count
+        self._tails: dict[str, np.ndarray] = {}
+        self._merged: dict[str, MergedColumn] = {}
+        self._live: np.ndarray | None = None
+
+    @property
+    def total_rows(self) -> int:
+        return self.sealed.row_count + self.tail_rows
+
+    @property
+    def live_rows(self) -> int:
+        return self.total_rows - self.deleted_count
+
+    def tail(self, name: str) -> np.ndarray:
+        """The concatenated tail for one column (lazy, cached per state)."""
+        cached = self._tails.get(name)
+        if cached is None:
+            parts = [chunk[name] for chunk in self.chunks]
+            if not parts:
+                cached = np.empty(0, dtype=self.sealed.column(name).dtype)
+            elif len(parts) == 1:
+                cached = parts[0]
+            else:
+                cached = np.concatenate(parts)
+            self._tails[name] = cached
+        return cached
+
+    def merged_column(self, name: str) -> MergedColumn:
+        """The merged view of one column (lazy, cached per state).
+
+        States are shared by every snapshot of one version, so caching the
+        :class:`MergedColumn` here lets its idempotent decode/stats caches
+        amortise across repeated scans instead of resetting per snapshot.
+        """
+        merged = self._merged.get(name)
+        if merged is None:
+            sealed = self.sealed.column(name)  # KeyError names the table
+            merged = MergedColumn(sealed, self.tail(name))
+            self._merged[name] = merged
+        return merged
+
+    def live_positions(self) -> np.ndarray | None:
+        """Sorted logical positions of live rows; None when nothing is deleted."""
+        if self.deleted is None:
+            return None
+        if self._live is None:
+            mask = np.zeros(self.total_rows, dtype=bool)
+            mask[:len(self.deleted)] = self.deleted
+            self._live = np.flatnonzero(~mask).astype(np.int64)
+        return self._live
+
+
+class Snapshot:
+    """A consistent, immutable view of one table version.
+
+    Acquired with one atomic state-reference read; holding it costs
+    nothing and never blocks writers.  All reads through :meth:`query`
+    (and the plan executor, which scans through snapshots) see exactly the
+    sealed segment, tail length and deletion bitmap frozen at acquisition
+    — concurrent appends, deletes and even compactions are invisible.
+    """
+
+    def __init__(self, state: _TableState):
+        self._state = state
+        self._table: ColumnTable | SnapshotTable | None = None
+
+    @property
+    def version(self) -> int:
+        return self._state.version
+
+    @property
+    def generation(self) -> int:
+        return self._state.generation
+
+    @property
+    def row_count(self) -> int:
+        """Total logical rows (sealed + tail), *including* deleted rows."""
+        return self._state.total_rows
+
+    @property
+    def tail_rows(self) -> int:
+        return self._state.tail_rows
+
+    @property
+    def deleted_count(self) -> int:
+        return self._state.deleted_count
+
+    @property
+    def live_rows(self) -> int:
+        return self._state.live_rows
+
+    @property
+    def table(self) -> ColumnTable | SnapshotTable:
+        """This version as a (possibly merged) column table.
+
+        With an empty tail the sealed :class:`ColumnTable` itself is
+        returned — the pristine read path is exactly the sealed one.
+        """
+        if self._table is None:
+            state = self._state
+            self._table = state.sealed if state.tail_rows == 0 else SnapshotTable(state)
+        return self._table
+
+    def live_selection(self) -> np.ndarray | None:
+        """Live logical positions as a query base; None when none deleted."""
+        return self._state.live_positions()
+
+    def query(self) -> ColumnQuery:
+        """A query over this version's live rows (the scan entry point)."""
+        return ColumnQuery(self.table, self.live_selection())
+
+    def logical_arrays(self) -> dict[str, np.ndarray]:
+        """The snapshot's logical content: live rows, logical order, plain arrays.
+
+        Loading these into a fresh store must answer every (unsampled)
+        query identically — the equivalence the property tests assert, and
+        the content :meth:`DeltaStore.compact` reseals.
+        """
+        live = self.live_selection()
+        out = {}
+        for name in self._state.sealed.column_names:
+            column = self.table.column(name)
+            out[name] = column.values() if live is None else column.take(live)  # decode-ok: explicit full-materialisation API
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot({self._state.sealed.name!r}, version={self.version}, "
+            f"generation={self.generation}, rows={self.live_rows})"
+        )
+
+
+class DeltaStore:
+    """The writable tier over one sealed table: tail + bitmap + versions.
+
+    Writers serialise on one lock and publish complete immutable
+    :class:`_TableState` objects by a single reference swap; readers call
+    :meth:`snapshot` (one reference read, no lock) and work off that state
+    for as long as they like.  The version counter increases by exactly
+    one per committed write, so observing versions ``v`` then ``v' > v``
+    means every write in between is fully visible.
+    """
+
+    def __init__(self, sealed: ColumnTable,
+                 on_write: Callable[[], None] | None = None):
+        self._lock = threading.Lock()
+        self._state = _TableState(sealed, generation=0, version=0, chunks=(),
+                                  tail_rows=0, deleted=None, deleted_count=0)
+        self._on_write = on_write
+
+    # -- read side -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._state.sealed.name
+
+    @property
+    def version(self) -> int:
+        return self._state.version
+
+    @property
+    def generation(self) -> int:
+        return self._state.generation
+
+    @property
+    def sealed_table(self) -> ColumnTable:
+        """The current sealed segment generation (tail/deletes not applied)."""
+        return self._state.sealed
+
+    @property
+    def tail_rows(self) -> int:
+        return self._state.tail_rows
+
+    @property
+    def deleted_count(self) -> int:
+        return self._state.deleted_count
+
+    def snapshot(self) -> Snapshot:
+        """Freeze the current version — one atomic state-reference read."""
+        return Snapshot(self._state)
+
+    def __repr__(self) -> str:
+        state = self._state
+        return (
+            f"DeltaStore({state.sealed.name!r}, version={state.version}, "
+            f"generation={state.generation}, tail={state.tail_rows}, "
+            f"deleted={state.deleted_count})"
+        )
+
+    # -- write side ----------------------------------------------------------------
+
+    def _publish(self, state: _TableState) -> None:
+        self._state = state
+
+    def _notify(self) -> None:
+        if self._on_write is not None:
+            self._on_write()
+
+    @staticmethod
+    def _coerced_chunk(sealed: ColumnTable, rows: Mapping[str, np.ndarray]) -> tuple[dict, int]:
+        """Validate and dtype-coerce one append's column arrays."""
+        expected = set(sealed.column_names)
+        given = set(rows)
+        if given != expected:
+            missing = sorted(expected - given)
+            extra = sorted(given - expected)
+            raise ValueError(
+                f"append to {sealed.name!r} must supply exactly its columns; "
+                f"missing {missing}, unexpected {extra}"
+            )
+        chunk: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name in sealed.column_names:
+            coerced = sealed.column(name).coerce(rows[name])
+            if length is None:
+                length = len(coerced)
+            elif len(coerced) != length:
+                raise ValueError(
+                    f"column {name!r}: {len(coerced)} values, expected {length}"
+                )
+            chunk[name] = coerced
+        if not length:
+            raise ValueError("append needs at least one row")
+        return chunk, length
+
+    def append(self, rows: Mapping[str, np.ndarray]) -> int:
+        """Append rows (column name → array) to the tail; returns the new version.
+
+        Values are cast to the sealed column dtypes with ``same_kind``
+        casting (no silent float→int truncation; strings that do not fit
+        the column width are rejected rather than clipped).
+        """
+        with self._lock:
+            state = self._state
+            chunk, length = self._coerced_chunk(state.sealed, rows)
+            new = _TableState(state.sealed, state.generation, state.version + 1,
+                              state.chunks + (chunk,), state.tail_rows + length,
+                              state.deleted, state.deleted_count)
+            self._publish(new)
+        self._notify()
+        return new.version
+
+    def delete(self, row_ids) -> int:
+        """Mark logical row ids deleted (idempotent); returns the new version."""
+        ids = np.atleast_1d(np.asarray(row_ids, dtype=np.int64))
+        with self._lock:
+            state = self._state
+            total = state.total_rows
+            if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= total):
+                raise IndexError(
+                    f"row id out of range [0, {total}) for table "
+                    f"{state.sealed.name!r}"
+                )
+            deleted = np.zeros(total, dtype=bool)
+            if state.deleted is not None:
+                deleted[:len(state.deleted)] = state.deleted
+            deleted[ids] = True
+            new = _TableState(state.sealed, state.generation, state.version + 1,
+                              state.chunks, state.tail_rows,
+                              deleted, int(deleted.sum()))
+            self._publish(new)
+        self._notify()
+        return new.version
+
+    def delete_where(self, expression) -> int:
+        """Delete every live row matching a plan expression; returns rows deleted."""
+        matching = self.snapshot().query().where(expression).selection
+        if matching.size:
+            self.delete(matching)
+        return int(matching.size)
+
+    def update(self, row_ids, rows: Mapping[str, np.ndarray]) -> int:
+        """Delete ``row_ids`` and append replacement ``rows`` as *one* version.
+
+        Readers see either the old rows or the replacements, never the
+        gap in between.
+        """
+        ids = np.atleast_1d(np.asarray(row_ids, dtype=np.int64))
+        with self._lock:
+            state = self._state
+            total = state.total_rows
+            if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= total):
+                raise IndexError(
+                    f"row id out of range [0, {total}) for table "
+                    f"{state.sealed.name!r}"
+                )
+            chunk, length = self._coerced_chunk(state.sealed, rows)
+            deleted = np.zeros(total + length, dtype=bool)
+            if state.deleted is not None:
+                deleted[:len(state.deleted)] = state.deleted
+            deleted[ids] = True
+            new = _TableState(state.sealed, state.generation, state.version + 1,
+                              state.chunks + (chunk,), state.tail_rows + length,
+                              deleted, int(deleted.sum()))
+            self._publish(new)
+        self._notify()
+        return new.version
+
+    def compact(self) -> int:
+        """Reseal the surviving rows as a new segment generation.
+
+        Re-runs ``best_encoding`` over sealed + tail minus deletions and
+        publishes a fresh state (empty tail, empty bitmap, generation + 1)
+        with one atomic swap — snapshots acquired before the swap keep
+        answering from their own generation.  Logical row ids are
+        renumbered densely.
+        """
+        with self._lock:
+            state = self._state
+            arrays = Snapshot(state).logical_arrays()
+            sealed = ColumnTable.from_arrays(state.sealed.name, arrays,
+                                             compress=True)
+            new = _TableState(sealed, state.generation + 1, state.version + 1,
+                              chunks=(), tail_rows=0, deleted=None,
+                              deleted_count=0)
+            self._publish(new)
+        self._notify()
+        return new.version
+
+    def should_compact(self, tail_fraction: float = 0.25) -> bool:
+        """True when tail + deletions exceed ``tail_fraction`` of the table."""
+        state = self._state
+        pending = state.tail_rows + state.deleted_count
+        return bool(pending) and pending >= tail_fraction * max(1, state.total_rows)
+
+    def maybe_compact(self, tail_fraction: float = 0.25) -> bool:
+        """Compact when :meth:`should_compact`; returns whether it did."""
+        if self.should_compact(tail_fraction):
+            self.compact()
+            return True
+        return False

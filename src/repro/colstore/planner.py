@@ -63,7 +63,10 @@ class ColumnStoreCatalog(PlanCatalog):
         if binding is not None:
             return binding.table
         if self.store is not None and name in self.store:
-            return self.store.table(name)
+            # The *effective* table: a written table answers schema, dtype
+            # and statistics questions from its current snapshot (sealed
+            # stats widened by the tail), not the stale sealed segment.
+            return self.store.effective_table(name)
         return None
 
     def columns_of(self, table: str) -> list[str] | None:
@@ -90,10 +93,15 @@ class ColumnStoreCatalog(PlanCatalog):
 
     def row_count_of(self, table: str) -> int | None:
         binding = self.bindings.get(table)
-        if binding is not None and binding._base is not None:
-            return len(binding._base)
-        found = self._table_for(table)
-        return None if found is None else found.row_count
+        if binding is not None:
+            if binding._base is not None:
+                return len(binding._base)
+            return binding.table.row_count
+        if self.store is not None and table in self.store:
+            # Live rows: a written table's deleted rows never reach any
+            # operator, so they must not inflate cardinality estimates.
+            return self.store.live_row_count(table)
+        return None
 
 
 def optimize_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
@@ -141,6 +149,12 @@ def run_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
     With the ``REPRO_VERIFY_PLANS`` debug flag set, every optimizer
     application is checked by the static rewrite-soundness verifier
     (:func:`repro.plan.verify.verify_rewrite`) before execution.
+
+    Scans over *written* tables resolve through snapshots
+    (:meth:`~repro.colstore.catalog.ColumnStore.query`), and one run keeps
+    a per-execution scan cache so every ``Scan`` of the same table — a
+    self-join, a rewritten subtree — reads the **same** frozen version
+    even while writers race the execution.
     """
     if optimized:
         written = plan
@@ -148,14 +162,15 @@ def run_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
         maybe_verify_rewrite(written, plan, ColumnStoreCatalog(store, bindings))
     if observation is not None:
         observation.engine = "colstore"
+    scans: dict[str, ColumnQuery] = {}
     if isinstance(plan, logical.Aggregate):
-        query = _query_for(plan.child, store, bindings)
+        query = _query_for(plan.child, store, bindings, scans)
         keys, aggregates = query.group_aggregate(plan.group_by, plan.value, plan.function)
         if observation is not None:
             observation.output_rows = int(len(keys))
         return keys, aggregates
     if isinstance(plan, logical.Pivot):
-        query = _query_for(plan.child, store, bindings)
+        query = _query_for(plan.child, store, bindings, scans)
         matrix, row_labels, column_labels = query.pivot(
             plan.row_key, plan.column_key, plan.value
         )
@@ -164,18 +179,36 @@ def run_plan(plan: logical.PlanNode, store: ColumnStore | None = None,
             observation.output_cells = int(matrix.size)
         return matrix, row_labels, column_labels
     if isinstance(plan, logical.ApproxAggregate):
-        result = _run_approx(plan, store, bindings)
+        result = _run_approx(plan, store, bindings, scans)
         if observation is not None:
             observation.output_rows = 1
         return result
-    query = _query_for(plan, store, bindings)
+    query = _query_for(plan, store, bindings, scans)
     if observation is not None:
         observation.output_rows = int(len(query))
     return query
 
 
+def _scan_query(table_name: str, store: ColumnStore,
+                scans: dict[str, ColumnQuery] | None) -> ColumnQuery:
+    """One frozen base query per table per plan execution.
+
+    The first scan of a table snapshots it; later scans in the same run
+    rewrap that snapshot's table and base selection, so the whole plan
+    answers from a single version.
+    """
+    if scans is None:
+        return store.query(table_name)
+    base = scans.get(table_name)
+    if base is None:
+        base = store.query(table_name)
+        scans[table_name] = base
+    return ColumnQuery(base.table, base._base)
+
+
 def _query_for(node: logical.PlanNode, store: ColumnStore | None,
-               bindings: Mapping[str, ColumnQuery] | None) -> ColumnQuery:
+               bindings: Mapping[str, ColumnQuery] | None,
+               scans: dict[str, ColumnQuery] | None = None) -> ColumnQuery:
     """Lower a relational-algebra subtree onto a lazy ColumnQuery."""
     if isinstance(node, logical.Scan):
         if bindings and node.table in bindings:
@@ -185,17 +218,19 @@ def _query_for(node: logical.PlanNode, store: ColumnStore | None,
             raise KeyError(
                 f"no binding named {node.table!r} and no store to scan it from"
             )
-        return store.query(node.table)
+        return _scan_query(node.table, store, scans)
     if isinstance(node, logical.Filter):
         predicate: Expression = node.predicate
-        return _query_for(node.child, store, bindings).where(predicate)
+        return _query_for(node.child, store, bindings, scans).where(predicate)
     if isinstance(node, logical.Project):
-        return _query_for(node.child, store, bindings).select(*node.columns)
+        return _query_for(node.child, store, bindings, scans).select(*node.columns)
     if isinstance(node, logical.Sample):
-        return _query_for(node.child, store, bindings).sample(node.fraction, node.seed)
+        return _query_for(node.child, store, bindings, scans).sample(
+            node.fraction, node.seed
+        )
     if isinstance(node, logical.Join):
-        left = _query_for(node.left, store, bindings)
-        right = _query_for(node.right, store, bindings)
+        left = _query_for(node.left, store, bindings, scans)
+        right = _query_for(node.right, store, bindings, scans)
         table = materialise_join(
             left, right, node.left_key, node.right_key,
             result_name=node.result_name, build=node.build_side, compress=False,
@@ -206,7 +241,8 @@ def _query_for(node: logical.PlanNode, store: ColumnStore | None,
 
 def _sampled_base(node: logical.PlanNode, store: ColumnStore | None,
                   bindings: Mapping[str, ColumnQuery] | None,
-                  fraction: float, seed: int) -> tuple[ColumnQuery, int]:
+                  fraction: float, seed: int,
+                  scans: dict[str, ColumnQuery] | None = None) -> tuple[ColumnQuery, int]:
     """Lower ``Sample(node)`` and return ``(sampled query, pre-sample rows)``.
 
     A ``Project*(Scan)`` sample is served from the store's synopsis
@@ -225,18 +261,19 @@ def _sampled_base(node: logical.PlanNode, store: ColumnStore | None,
     if (isinstance(inner, logical.Scan) and store is not None
             and inner.table in store
             and not (bindings and inner.table in bindings)):
-        table = store.table(inner.table)
+        table = store.effective_table(inner.table)
         selection = store.synopses.uniform(inner.table, fraction, seed)
         sampled = ColumnQuery(table, selection)
         if projection is not None:
             sampled = sampled.select(*projection)
-        return sampled, table.row_count
-    base = _query_for(node, store, bindings)
+        return sampled, store.live_row_count(inner.table)
+    base = _query_for(node, store, bindings, scans)
     return base.sample(fraction, seed), len(base)
 
 
 def _run_approx(plan: logical.ApproxAggregate, store: ColumnStore | None,
-                bindings: Mapping[str, ColumnQuery] | None):
+                bindings: Mapping[str, ColumnQuery] | None,
+                scans: dict[str, ColumnQuery] | None = None):
     """Execute an ``ApproxAggregate`` terminal → :class:`ApproxResult`.
 
     Sketch kinds stream the child selection through the encoding-level
@@ -254,7 +291,7 @@ def _run_approx(plan: logical.ApproxAggregate, store: ColumnStore | None,
     # data; column existence and dtype are checked by the store itself.
     plan.output_schema({plan.value: np.dtype(np.float64)})
     if plan.kind in logical.SKETCH_APPROX_KINDS:
-        query = _query_for(plan.child, store, bindings)
+        query = _query_for(plan.child, store, bindings, scans)
         selection = None if query._full_selection else query.selection
         column = query.table.column(plan.value)
         if plan.kind == "approx_distinct":
@@ -276,7 +313,7 @@ def _run_approx(plan: logical.ApproxAggregate, store: ColumnStore | None,
             sample_child = cursor.child
 
     if sample_child is None:  # no sampling anywhere: exact, zero-width interval
-        query = _query_for(plan.child, store, bindings)
+        query = _query_for(plan.child, store, bindings, scans)
         if plan.kind == "approx_count":
             exact = float(len(query))
         else:
@@ -285,7 +322,8 @@ def _run_approx(plan: logical.ApproxAggregate, store: ColumnStore | None,
                 float(values.mean()) if len(values) else float("nan"))
         return sketches.ApproxResult(exact, exact, exact, plan.confidence)
 
-    sampled, population = _sampled_base(sample_child, store, bindings, fraction, seed)
+    sampled, population = _sampled_base(sample_child, store, bindings,
+                                        fraction, seed, scans)
     realised = len(sampled) / population if population else 0.0
     query, filtered = sampled, False
     for step in reversed(above):

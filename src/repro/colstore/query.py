@@ -560,6 +560,12 @@ class ColumnQuery:
         value_vector = self.table.column(value_column)  # validate even for count
         if function == "count":
             values = None  # count never reads the values: stay fully compressed
+        elif self._full_selection:
+            # The aggregate consumes every row: materialising the column is
+            # the gather, without first building (and indexing through) an
+            # arange selection vector.  The ``astype`` copy keeps the
+            # encoding's decode cache unaliased.
+            values = value_vector.values().astype(np.float64)  # decode-ok: full-table aggregate reads every value
         else:
             values = value_vector.take(self.selection).astype(np.float64)
         selection = None if self._full_selection else self.selection

@@ -19,7 +19,7 @@ Entry points:
   tests in ``tests/test_fuzz.py``.
 """
 
-from repro.fuzz.generate import FuzzCase, generate_case
+from repro.fuzz.generate import FuzzCase, MutationOp, generate_case, lower_mutations
 from repro.fuzz.harness import FuzzHarness
 from repro.fuzz.tolerances import (
     EXACT,
@@ -37,9 +37,11 @@ __all__ = [
     "ULP",
     "FuzzCase",
     "FuzzHarness",
+    "MutationOp",
     "Tolerance",
     "aggregate_tolerance",
     "assert_values_match",
     "generate_case",
+    "lower_mutations",
     "summary_tolerance",
 ]

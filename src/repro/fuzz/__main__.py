@@ -47,8 +47,10 @@ def main(argv: list[str] | None = None) -> int:
     records = []
     checked = 0
     skipped_empty = 0
+    mutated = 0
     for seed in range(args.start_seed, args.start_seed + args.plans):
         case = case_from_seed(seed, harness.schema)
+        mutated += int(bool(case.mutations))
         try:
             outcome = harness.check_case(case, skew_selectivity=args.skew_selectivity)
         except Exception:
@@ -78,9 +80,11 @@ def main(argv: list[str] | None = None) -> int:
         "skew_selectivity": args.skew_selectivity,
         "engine_checks": checked,
         "skipped_empty": skipped_empty,
+        "mutated_cases": mutated,
         "elapsed_seconds": round(time.monotonic() - started, 2),
     })
     print(f"{args.plans} plans fuzzed, {checked} engine checks, "
+          f"{mutated} with write preludes, "
           f"{skipped_empty} empty aggregate/pivot cases skipped, "
           f"report: {args.report}")
     for kind, stats in report["summary"].get("rows", {}).items():

@@ -29,12 +29,24 @@ engine family executes (see ``docs/FUZZING.md`` for the admission table):
 Division and ``Opaque`` predicates stay out: division is partial (the row
 store raises on a zero divisor mid-scan) and opaque callables cannot be
 serialised into failure artifacts.
+
+**Mutation preludes.**  Any non-``sample`` case may additionally carry a
+short sequence of :class:`MutationOp` writes — appends, deletes, a
+compaction — applied to the case's meta table through the column store's
+delta tier *before* the plan runs.  Mutated cases compare the column
+store (optimized and unoptimized) against the reference interpreter
+only: the other engine families load the pristine dataset once and have
+no write path.  ``sample`` is excluded because the drawn row set is a
+function of physical row positions, which compaction legitimately
+renumbers.  Ops are lowered to concrete arrays by
+:func:`lower_mutations`, deterministically from each op's seed, so both
+sides replay the identical write history.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -141,6 +153,31 @@ class FuzzSchema:
 
 
 @dataclass
+class MutationOp:
+    """One write applied through the delta tier before the plan runs.
+
+    The op is symbolic: ``seed`` fully determines the concrete appended
+    rows / deleted ids once :func:`lower_mutations` resolves it against
+    the dataset, so an op serialises as four scalars and replays bit for
+    bit on both the column store and the reference interpreter.
+    """
+
+    kind: str    # append | delete | compact
+    table: str   # the meta table mutated (the case's filter table)
+    seed: int    # drives the lowered rows/ids
+    count: int   # rows appended / ids deleted (ignored by compact)
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "table": self.table,
+                "seed": self.seed, "count": self.count}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "MutationOp":
+        return cls(kind=data["kind"], table=data["table"],
+                   seed=data["seed"], count=data["count"])
+
+
+@dataclass
 class FuzzCase:
     """One generated differential test case."""
 
@@ -150,6 +187,7 @@ class FuzzCase:
     key: str                   # the id column compared for meta/sample shapes
     has_value_predicate: bool  # excludes the array DBMS when True
     seed: int | None = None    # set by the seed-driven CLI path
+    mutations: tuple[MutationOp, ...] = field(default=())  # write prelude
 
     def to_json(self) -> dict:
         return {
@@ -159,6 +197,7 @@ class FuzzCase:
             "key": self.key,
             "has_value_predicate": self.has_value_predicate,
             "seed": self.seed,
+            "mutations": [op.to_json() for op in self.mutations],
         }
 
     @classmethod
@@ -170,6 +209,9 @@ class FuzzCase:
             key=data["key"],
             has_value_predicate=data["has_value_predicate"],
             seed=data.get("seed"),
+            # Absent in artifacts predating the mutation prelude.
+            mutations=tuple(MutationOp.from_json(op)
+                            for op in data.get("mutations", [])),
         )
 
 
@@ -215,7 +257,28 @@ def _meta_filters(chooser: Chooser, schema: FuzzSchema, table: str,
 
 
 def generate_case(chooser: Chooser, schema: FuzzSchema) -> FuzzCase:
-    """Draw one case from the grammar."""
+    """Draw one case from the grammar (plan first, then a write prelude).
+
+    Mutation decisions are drawn strictly *after* the plan, so seeds that
+    predate the mutation prelude still generate the exact same plan — the
+    prelude only appends to the decision stream.
+    """
+    case = _generate_plan(chooser, schema)
+    if case.shape != "sample" and chooser.chance(0.35):
+        case.mutations = tuple(
+            MutationOp(
+                kind=chooser.choice(("append", "append", "delete", "compact")),
+                table=case.table,
+                seed=chooser.randint(0, 2**20),
+                count=chooser.randint(1, 6),
+            )
+            for _ in range(chooser.randint(1, 3))
+        )
+    return case
+
+
+def _generate_plan(chooser: Chooser, schema: FuzzSchema) -> FuzzCase:
+    """Draw one plan-only case from the grammar."""
     shape = chooser.choice(
         ("meta", "meta", "aggregate", "aggregate", "pivot", "sample", "approx")
     )
@@ -264,3 +327,68 @@ def case_from_seed(seed: int, schema: FuzzSchema) -> FuzzCase:
     case = generate_case(RandomChooser(seed), schema)
     case.seed = seed
     return case
+
+
+def lower_mutations(
+    mutations: tuple[MutationOp, ...],
+    tables: dict[str, dict[str, np.ndarray]],
+    schema: FuzzSchema,
+) -> list[tuple[str, str, np.ndarray | dict[str, np.ndarray] | None]]:
+    """Resolve symbolic mutation ops to concrete delta-API steps.
+
+    Returns ``(kind, table, payload)`` triples: an append's payload is the
+    column → array mapping handed to ``ColumnStore.append``, a delete's is
+    the int64 logical row ids, a compact's is ``None``.  Lowering tracks
+    the evolving logical row space exactly as the delta tier does —
+    appends extend it, deletes leave it (logical ids are stable until
+    compaction), compaction renumbers survivors densely — so deletes only
+    ever target currently-live ids and always leave at least one live row
+    (an empty meta table would make approx shapes degenerate rather than
+    interesting).
+
+    Appended rows get fresh key values past the dataset's maximum (new
+    entities, joining to no microarray cell) and attribute values drawn
+    from the schema's observed-value pools, keeping the case's predicates
+    satisfiable over the new rows.
+    """
+    steps: list[tuple[str, str, np.ndarray | dict[str, np.ndarray] | None]] = []
+    live = {name: np.arange(len(next(iter(columns.values()))), dtype=np.int64)
+            for name, columns in tables.items()}
+    logical_total = {name: len(positions) for name, positions in live.items()}
+    next_key = {name: int(np.max(tables[name][key])) + 1
+                for name, key in META_KEYS.items()}
+    for op in mutations:
+        rng = np.random.default_rng(op.seed)
+        if op.kind == "append":
+            key = META_KEYS[op.table]
+            start = next_key[op.table]
+            rows: dict[str, np.ndarray] = {
+                key: np.arange(start, start + op.count)
+                .astype(tables[op.table][key].dtype)
+            }
+            for pool in schema.pools[op.table]:
+                drawn = rng.choice(np.asarray(pool.values), size=op.count)
+                rows[pool.name] = drawn.astype(tables[op.table][pool.name].dtype)
+            next_key[op.table] = start + op.count
+            first = logical_total[op.table]
+            live[op.table] = np.concatenate([
+                live[op.table],
+                np.arange(first, first + op.count, dtype=np.int64),
+            ])
+            logical_total[op.table] = first + op.count
+            steps.append(("append", op.table, rows))
+        elif op.kind == "delete":
+            alive = live[op.table]
+            count = min(op.count, len(alive) - 1)
+            if count <= 0:
+                continue
+            ids = np.sort(rng.choice(alive, size=count, replace=False))
+            live[op.table] = np.setdiff1d(alive, ids)
+            steps.append(("delete", op.table, ids))
+        elif op.kind == "compact":
+            live[op.table] = np.arange(len(live[op.table]), dtype=np.int64)
+            logical_total[op.table] = len(live[op.table])
+            steps.append(("compact", op.table, None))
+        else:
+            raise ValueError(f"unknown mutation kind {op.kind!r}")
+    return steps

@@ -29,6 +29,17 @@ approx     yes       no       no     no     no
 Aggregate/pivot cases whose reference long-format output is *empty* are
 compared on no engine (the empties' label conventions legitimately
 differ); the calibration record is still produced.
+
+Cases carrying a **mutation prelude** (appends/deletes/compaction through
+the column store's delta tier, see
+:class:`~repro.fuzz.generate.MutationOp`) run on the column store
+(optimized and unoptimized) versus the reference interpreter only — the
+other engine families load the pristine dataset once and have no write
+path.  Both sides replay the identical lowered write history
+(:func:`~repro.fuzz.generate.lower_mutations`), the column store through
+a per-case store's snapshot machinery, the reference through
+:func:`~repro.fuzz.reference.mutated_tables`; shuffle-byte predictions
+are skipped (the calibration gate ignores ``None``).
 """
 
 from __future__ import annotations
@@ -54,8 +65,8 @@ from repro.colstore.planner import (
 from repro.core.queries import dataset_tables
 from repro.datagen.dataset import GenBaseDataset
 from repro.fuzz.calibration import CalibrationRecord
-from repro.fuzz.generate import META_KEYS, FuzzCase, FuzzSchema
-from repro.fuzz.reference import ReferenceTrace, run_reference
+from repro.fuzz.generate import META_KEYS, FuzzCase, FuzzSchema, lower_mutations
+from repro.fuzz.reference import ReferenceTrace, mutated_tables, run_reference
 from repro.fuzz.tolerances import (
     EXACT,
     aggregate_tolerance,
@@ -173,7 +184,14 @@ class FuzzHarness:
         schema preservation (:mod:`repro.plan.verify`) — unconditionally,
         not behind ``REPRO_VERIFY_PLANS``: the fuzzer is exactly where a
         grammar bug or unsound rewrite should be caught.
+
+        Cases with a mutation prelude take the delta-tier path: a
+        per-case column store replays the writes, the reference runs over
+        the equivalently-mutated tables, and only the two column-store
+        lowerings are compared (see the module admission notes).
         """
+        if case.mutations:
+            return self._check_mutated_case(case, skew_selectivity)
         catalog = ColumnStoreCatalog(self.store)
         verified_schema(case.plan, catalog)
         verify_rewrite(case.plan, optimize_plan(case.plan, self.store), catalog)
@@ -255,30 +273,128 @@ class FuzzHarness:
         per-sketch tolerance — HLL within its three-sigma relative bound,
         the t-digest's deterministic rank bracket covering the truth.
         """
+        for label, optimized in (("colstore", True), ("colstore-unopt", False)):
+            result = run_plan(case.plan, self.store, optimized=optimized)
+            self._assert_approx_run(case, result, reference, label)
+            outcome.engines_checked.append(label)
+
+    def _assert_approx_run(self, case: FuzzCase, result, reference: float,
+                           label: str) -> None:
+        """The per-lowering approx assertions (shared with mutated cases)."""
         plan = case.plan
         assert isinstance(plan, logical.ApproxAggregate)
         tolerance = sketch_tolerance(plan.kind)
         context = (f"seed={case.seed} shape=approx table={case.table} "
                    f"kind={plan.kind}")
-        for label, optimized in (("colstore", True), ("colstore-unopt", False)):
-            result = run_plan(case.plan, self.store, optimized=optimized)
-            assert result.ci_low <= result.estimate <= result.ci_high, (
-                f"{context} [{label}]: malformed interval {result}"
+        assert result.ci_low <= result.estimate <= result.ci_high, (
+            f"{context} [{label}]: malformed interval {result}"
+        )
+        assert 0.0 < result.confidence < 1.0, (
+            f"{context} [{label}]: confidence {result.confidence}"
+        )
+        if plan.kind == "approx_quantile":
+            assert result.ci_low <= reference <= result.ci_high, (
+                f"{context} [{label}]: exact quantile {reference} outside "
+                f"rank bracket [{result.ci_low}, {result.ci_high}]"
             )
-            assert 0.0 < result.confidence < 1.0, (
-                f"{context} [{label}]: confidence {result.confidence}"
+        else:
+            assert_values_match(
+                np.float64(result.estimate), np.float64(reference),
+                tolerance, f"{context} [{label}]",
             )
-            if plan.kind == "approx_quantile":
-                assert result.ci_low <= reference <= result.ci_high, (
-                    f"{context} [{label}]: exact quantile {reference} outside "
-                    f"rank bracket [{result.ci_low}, {result.ci_high}]"
-                )
+
+    # -- mutated cases ----------------------------------------------------------------
+
+    def _check_mutated_case(self, case: FuzzCase,
+                            skew_selectivity: bool) -> FuzzOutcome:
+        """Replay the write prelude, then compare colstore vs reference.
+
+        A fresh per-case column store replays the lowered steps through
+        the real delta API (append/delete/compact → tail, bitmap,
+        generation bump), so the plan executes over ``MergedColumn``
+        scans; the reference executes over the identically-mutated plain
+        tables.  Static verification and the calibration record run
+        against the *mutated* store, covering version-aware dtype answers
+        and live-row estimates.
+        """
+        steps = lower_mutations(case.mutations, self.tables, self.schema)
+        store = ColumnStore()
+        for name, columns in self.tables.items():
+            store.create_table(name, columns)
+        for kind, table, payload in steps:
+            if kind == "append":
+                store.append(table, payload)
+            elif kind == "delete":
+                store.delete(table, payload)
             else:
-                assert_values_match(
-                    np.float64(result.estimate), np.float64(reference),
-                    tolerance, f"{context} [{label}]",
+                store.compact(table)
+        tables = mutated_tables(self.tables, steps)
+        catalog = ColumnStoreCatalog(store)
+        verified_schema(case.plan, catalog)
+        verify_rewrite(case.plan, optimize_plan(case.plan, store), catalog)
+        trace = ReferenceTrace()
+        reference = run_reference(case.plan, tables, trace)
+        outcome = FuzzOutcome(case, self._record(case, trace, skew_selectivity,
+                                                 store=store,
+                                                 with_shuffle=False))
+        runs = (("colstore", True), ("colstore-unopt", False))
+        if case.shape == "meta":
+            expected = np.sort(np.asarray(reference[case.key], dtype=np.int64))
+            context = (f"seed={case.seed} shape=meta table={case.table} "
+                       f"[mutated]")
+            for label, optimized in runs:
+                query = run_plan(case.plan, store, optimized=optimized)
+                ids = np.sort(np.asarray(query.column(case.key),
+                                         dtype=np.int64))
+                assert_values_match(ids, expected, EXACT,
+                                    f"{context} [{label}]")
+                outcome.engines_checked.append(label)
+            return outcome
+        if trace.terminal_input_rows == 0:
+            outcome.skipped_empty = True
+            return outcome
+        if case.shape == "approx":
+            for label, optimized in runs:
+                result = run_plan(case.plan, store, optimized=optimized)
+                self._assert_approx_run(case, result, reference,
+                                        f"{label} mutated")
+                outcome.engines_checked.append(label)
+            return outcome
+        if case.shape == "aggregate":
+            plan = case.plan
+            assert isinstance(plan, logical.Aggregate)
+            expected_keys = np.asarray(reference[0], dtype=np.int64)
+            expected_values = np.asarray(reference[1], dtype=np.float64)
+            tolerance = aggregate_tolerance("colstore", plan.function)
+            context = (f"seed={case.seed} shape=aggregate table={case.table} "
+                       f"fn={plan.function} [mutated]")
+            for label, optimized in runs:
+                keys, values = run_plan(case.plan, store, optimized=optimized)
+                keys = np.asarray(np.asarray(keys, dtype=np.float64),
+                                  dtype=np.int64)
+                assert_values_match(keys, expected_keys, EXACT,
+                                    f"{context} [{label}] keys")
+                assert_values_match(np.asarray(values, dtype=np.float64),
+                                    expected_values, tolerance,
+                                    f"{context} [{label}] values")
+                outcome.engines_checked.append(label)
+            return outcome
+        if case.shape == "pivot":
+            matrix, rows, cols = reference
+            context = f"seed={case.seed} shape=pivot table={case.table} [mutated]"
+            for label, optimized in runs:
+                m, r, c = _normalise_pivot(
+                    *run_plan(case.plan, store, optimized=optimized)
                 )
-            outcome.engines_checked.append(label)
+                assert_values_match(r, rows, EXACT, f"{context} [{label}] rows")
+                assert_values_match(c, cols, EXACT, f"{context} [{label}] cols")
+                assert_values_match(m, matrix, EXACT,
+                                    f"{context} [{label}] matrix")
+                outcome.engines_checked.append(label)
+            return outcome
+        raise ValueError(
+            f"shape {case.shape!r} does not admit a mutation prelude"
+        )
 
     def _check_aggregate(self, case: FuzzCase, reference, outcome: FuzzOutcome):
         plan = case.plan
@@ -335,13 +451,15 @@ class FuzzHarness:
     # -- calibration ------------------------------------------------------------------
 
     def _record(self, case: FuzzCase, trace: ReferenceTrace,
-                skew_selectivity: bool) -> CalibrationRecord:
-        catalog = ColumnStoreCatalog(self.store)
+                skew_selectivity: bool, store: ColumnStore | None = None,
+                with_shuffle: bool = True) -> CalibrationRecord:
+        store = self.store if store is None else store
+        catalog = ColumnStoreCatalog(store)
         predicted_plan = (_strip_filters(case.plan) if skew_selectivity
                           else case.plan)
         predicted = estimate_output_rows(predicted_plan, catalog)
         shuffle = None
-        if case.shape not in ("sample", "approx"):
+        if with_shuffle and case.shape not in ("sample", "approx"):
             shuffle = estimate_shuffle_bytes(
                 predicted_plan, self.hive_tables, n_splits=self.mr_engine.n_splits
             )
@@ -352,7 +470,7 @@ class FuzzHarness:
             predicted_rows=None if predicted is None else float(predicted),
             observed_rows=trace.output_rows,
             predicted_shuffle_bytes=shuffle,
-            explain=explain_plan(case.plan, self.store),
+            explain=explain_plan(case.plan, store),
         )
         return record
 

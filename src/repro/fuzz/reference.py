@@ -14,6 +14,13 @@ with the smallest scores (see :meth:`repro.colstore.query.ColumnQuery.sample`).
 
 A :class:`ReferenceTrace` records the observed cardinalities the cost
 calibration compares against the optimizer's predictions.
+
+For mutated cases (a :class:`~repro.fuzz.generate.MutationOp` prelude),
+:func:`mutated_tables` replays the lowered write steps over the plain
+dict-of-arrays tables with the delta tier's exact semantics — appends
+extend the logical row space, deletes mark stable logical ids (idempotent,
+no renumbering), compaction materialises survivors densely — so the
+reference executes over precisely the rows a delta-store snapshot holds.
 """
 
 from __future__ import annotations
@@ -61,6 +68,48 @@ class _Relation:
             positions,
             self.base_row_count,
         )
+
+
+def mutated_tables(
+    tables: dict[str, dict[str, np.ndarray]],
+    steps: list,
+) -> dict[str, dict[str, np.ndarray]]:
+    """Apply lowered mutation steps to dict-of-arrays tables.
+
+    ``steps`` is the output of :func:`repro.fuzz.generate.lower_mutations`
+    — ``(kind, table, payload)`` triples.  Returns new table dicts holding
+    only the live rows, in logical (append) order; the input is never
+    mutated.
+    """
+    state = {name: {column: np.asarray(values)
+                    for column, values in columns.items()}
+             for name, columns in tables.items()}
+    deleted: dict[str, set[int]] = {name: set() for name in tables}
+
+    def survivors(name: str) -> dict[str, np.ndarray]:
+        dead = deleted[name]
+        if not dead:
+            return state[name]
+        length = len(next(iter(state[name].values())))
+        keep = np.setdiff1d(np.arange(length, dtype=np.int64),
+                            np.fromiter(dead, dtype=np.int64, count=len(dead)))
+        return {column: values[keep]
+                for column, values in state[name].items()}
+
+    for kind, table, payload in steps:
+        if kind == "append":
+            state[table] = {
+                column: np.concatenate([values, payload[column]])
+                for column, values in state[table].items()
+            }
+        elif kind == "delete":
+            deleted[table].update(int(i) for i in np.asarray(payload))
+        elif kind == "compact":
+            state[table] = survivors(table)
+            deleted[table] = set()
+        else:
+            raise ValueError(f"unknown mutation step kind {kind!r}")
+    return {name: survivors(name) for name in state}
 
 
 def run_reference(plan: logical.PlanNode,

@@ -62,7 +62,11 @@ def main(argv: list[str] | None = None) -> int:
         args.case, args.size, args.dataset_seed
     )
     print(f"seed={case.seed} shape={case.shape} table={case.table} "
-          f"value_predicate={case.has_value_predicate}")
+          f"value_predicate={case.has_value_predicate} "
+          f"mutations={len(case.mutations)}")
+    for op in case.mutations:
+        print(f"  prelude: {op.kind} table={op.table} seed={op.seed} "
+              f"count={op.count}")
     print("\nplan:")
     print(explain(case.plan))
 

@@ -454,5 +454,7 @@ class TestSynopsisCatalog:
         fx = ApproxFixture("tiny")
         fx.store.synopses.uniform("patients", 0.5, seed=1)
         description = fx.store.synopses.describe()
-        assert list(description) == [("uniform", "patients", 0.5, 1)]
-        assert description[("uniform", "patients", 0.5, 1)] == 30
+        # The trailing key component is the table's store version (0 while
+        # never written) — the write-staleness guard.
+        assert list(description) == [("uniform", "patients", 0.5, 1, 0)]
+        assert description[("uniform", "patients", 0.5, 1, 0)] == 30

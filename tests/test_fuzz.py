@@ -25,9 +25,17 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.core.queries import dataset_tables
 from repro.datagen.dataset import GenBaseDataset
+from repro.colstore import ColumnStore
 from repro.fuzz.calibration import CalibrationRecord, q_error, write_report
-from repro.fuzz.generate import FuzzCase, FuzzSchema, case_from_seed
+from repro.fuzz.generate import (
+    FuzzCase,
+    FuzzSchema,
+    MutationOp,
+    case_from_seed,
+    lower_mutations,
+)
 from repro.fuzz.harness import FuzzHarness
+from repro.fuzz.reference import mutated_tables
 from repro.fuzz.serialize import (
     expression_from_json,
     expression_to_json,
@@ -141,6 +149,83 @@ class TestSeedPath:
             "patient_id", "gene_id", "expression_value",
         )
         assert explain(plan_from_json(plan_to_json(plan))) == explain(plan)
+
+
+class TestMutationPrelude:
+    """Write preludes: delta-tier writes replayed identically on both sides."""
+
+    def test_mutated_cases_agree_with_reference(self, harness):
+        checked = 0
+        kinds: set[str] = set()
+        for seed in range(150):
+            case = case_from_seed(seed, harness.schema)
+            if not case.mutations:
+                continue
+            kinds.update(op.kind for op in case.mutations)
+            outcome = harness.check_case(case)
+            if not outcome.skipped_empty:
+                # Mutated cases admit the two column-store lowerings only.
+                assert outcome.engines_checked == ["colstore", "colstore-unopt"]
+                checked += 1
+            # Shuffle-byte predictions are skipped (gate ignores None).
+            assert outcome.record.predicted_shuffle_bytes is None
+        assert checked >= 10  # the grammar must actually exercise preludes
+        assert kinds == {"append", "delete", "compact"}
+
+    def test_mutated_case_json_round_trips(self, harness):
+        seen = 0
+        for seed in range(150):
+            case = case_from_seed(seed, harness.schema)
+            if not case.mutations:
+                continue
+            rebuilt = FuzzCase.from_json(json.loads(json.dumps(case.to_json())))
+            assert [op.to_json() for op in rebuilt.mutations] == \
+                   [op.to_json() for op in case.mutations]
+            assert explain(rebuilt.plan) == explain(case.plan)
+            seen += 1
+        assert seen >= 10
+
+    def test_artifacts_predating_mutations_still_load(self, harness):
+        """Backwards compatibility: old failure artifacts have no key."""
+        case = case_from_seed(0, harness.schema)
+        data = json.loads(json.dumps(case.to_json()))
+        data.pop("mutations")
+        assert FuzzCase.from_json(data).mutations == ()
+
+    def test_sample_shapes_never_carry_mutations(self, harness):
+        """Sampling is position-dependent; compaction renumbers positions."""
+        for seed in range(300):
+            case = case_from_seed(seed, harness.schema)
+            if case.shape == "sample":
+                assert case.mutations == ()
+
+    def test_lowered_steps_match_delta_store_semantics(self, harness):
+        """The reference's replay equals the real delta tier's snapshot."""
+        ops = (
+            MutationOp("append", "patients", seed=11, count=4),
+            MutationOp("delete", "patients", seed=12, count=3),
+            MutationOp("compact", "patients", seed=0, count=0),
+            MutationOp("append", "patients", seed=13, count=2),
+            MutationOp("delete", "patients", seed=14, count=2),
+        )
+        steps = lower_mutations(ops, harness.tables, harness.schema)
+        assert [kind for kind, _, _ in steps] == \
+            ["append", "delete", "compact", "append", "delete"]
+        store = ColumnStore()
+        for name, columns in harness.tables.items():
+            store.create_table(name, columns)
+        for kind, table, payload in steps:
+            if kind == "append":
+                store.append(table, payload)
+            elif kind == "delete":
+                store.delete(table, payload)
+            else:
+                store.compact(table)
+        expected = mutated_tables(harness.tables, steps)["patients"]
+        arrays = store.snapshot("patients").logical_arrays()
+        assert set(arrays) == set(expected)
+        for name, values in expected.items():
+            np.testing.assert_array_equal(arrays[name], values)
 
 
 class TestCalibrationGate:
